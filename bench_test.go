@@ -1,0 +1,267 @@
+// Package repro's benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation section. Each benchmark
+// regenerates its artefact and reports the simulated quantities the
+// paper tabulates (ms at the machine clocks, Klips, ratios) as custom
+// benchmark metrics, so `go test -bench=. -benchmem` reprints the
+// whole evaluation.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+)
+
+// BenchmarkTable1StaticSize regenerates Table 1: static code size of
+// the PLM suite under the PLM, SPUR and KCM encodings.
+func BenchmarkTable1StaticSize(b *testing.B) {
+	var rows []bench.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var kpI, kpB, skI, skB float64
+	for _, r := range rows {
+		kpI += r.KCMvsPLMInstr()
+		kpB += r.KCMvsPLMBytes()
+		skI += r.SPURvsKCMInstr()
+		skB += r.SPURvsKCMBytes()
+	}
+	n := float64(len(rows))
+	b.ReportMetric(kpI/n, "KCM/PLM-instr")
+	b.ReportMetric(kpB/n, "KCM/PLM-bytes")
+	b.ReportMetric(skI/n, "SPUR/KCM-instr")
+	b.ReportMetric(skB/n, "SPUR/KCM-bytes")
+	b.Log("\n" + bench.RenderTable1(rows))
+}
+
+// BenchmarkTable2VsPLM regenerates Table 2: the suite on KCM vs the
+// PLM cost model (paper: average ratio 3.05, KCM 2-4x faster).
+func BenchmarkTable2VsPLM(b *testing.B) {
+	var rows []bench.TimeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.Ratio()
+	}
+	b.ReportMetric(sum/float64(len(rows)), "PLM/KCM-ratio")
+	b.Log("\n" + bench.RenderTimeTable(rows, "PLM"))
+}
+
+// BenchmarkTable3VsQuintus regenerates Table 3: the I/O-stripped
+// suite on KCM vs the QUINTUS/SUN3 model (paper: average 7.85x).
+func BenchmarkTable3VsQuintus(b *testing.B) {
+	var rows []bench.TimeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.Ratio()
+	}
+	b.ReportMetric(sum/float64(len(rows)), "Q/KCM-ratio")
+	b.Log("\n" + bench.RenderTimeTable(rows, "QUINTUS"))
+}
+
+// BenchmarkTable4Peak regenerates Table 4: peak Klips on the concat
+// step and the nrev inner loop (paper: 833 and 760).
+func BenchmarkTable4Peak(b *testing.B) {
+	var rows []bench.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Machine == "KCM" {
+			b.ReportMetric(r.ConKlips, "concat-Klips")
+			b.ReportMetric(r.RevKlips, "nrev-Klips")
+		}
+	}
+	b.Log("\n" + bench.RenderTable4(rows))
+}
+
+// BenchmarkCacheCollision regenerates the section 3.2.4 experiment:
+// direct-mapped hit ratios with separated vs colliding stack bases vs
+// the 8-section zone-split cache.
+func BenchmarkCacheCollision(b *testing.B) {
+	var rows []bench.CacheRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.CacheStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].HitRatio*100, "apart-hit%")
+	b.ReportMetric(rows[1].HitRatio*100, "colliding-hit%")
+	b.ReportMetric(rows[2].HitRatio*100, "split-hit%")
+	b.Log("\n" + bench.RenderCacheStudy(rows))
+}
+
+// BenchmarkAblationShallow measures the shallow-backtracking design
+// point: cycles and choice-point traffic vs the standard WAM policy.
+func BenchmarkAblationShallow(b *testing.B) {
+	var rows []bench.ShallowRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationShallow()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var speed, traffic float64
+	for _, r := range rows {
+		speed += r.Speedup()
+		traffic += r.CPTrafficShare()
+	}
+	n := float64(len(rows))
+	b.ReportMetric(speed/n, "eager/shallow-cycles")
+	b.ReportMetric(traffic/n*100, "eager-CP-traffic%")
+	b.Log("\n" + bench.RenderShallow(rows))
+}
+
+// BenchmarkAblationDeref measures the dereference hardware (1
+// cycle/link vs a software loop), one of the per-unit evaluations the
+// paper schedules in section 5.
+func BenchmarkAblationDeref(b *testing.B) {
+	benchUnit(b, "deref")
+}
+
+// BenchmarkAblationTrail measures the parallel trail-check
+// comparators vs explicit comparison code.
+func BenchmarkAblationTrail(b *testing.B) {
+	benchUnit(b, "trail")
+}
+
+func benchUnit(b *testing.B, unit string) {
+	var rows []bench.UnitRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationUnit(unit)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.Slowdown()
+	}
+	b.ReportMetric(sum/float64(len(rows)), "no-"+unit+"-slowdown")
+	b.Log("\n" + bench.RenderUnit(rows, unit))
+}
+
+// BenchmarkSuitePrograms times each individual benchmark program on
+// the simulator (wall-clock of the simulation itself, plus the
+// simulated Klips as a metric).
+func BenchmarkSuitePrograms(b *testing.B) {
+	for _, p := range bench.Suite {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var r bench.RunResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = bench.RunKCMWarm(p, true, machine.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Klips(), "simulated-Klips")
+			b.ReportMetric(r.Millis(), "simulated-ms")
+		})
+	}
+}
+
+// BenchmarkGCOverhead measures the mark-compact collector: the same
+// garbage-heavy workload with the collector off (big heap) and on
+// (small heap), reporting the cycle overhead and the heap ceiling.
+func BenchmarkGCOverhead(b *testing.B) {
+	src := `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+mklist(0, []).
+mklist(N, [N|T]) :- N > 0, M is N - 1, mklist(M, T).
+`
+	p := bench.Program{Name: "gcload", Source: src,
+		PureQuery: "mklist(60, L), nrev(L, _), nrev(L, _), nrev(L, _)."}
+	var off, on bench.RunResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		off, err = bench.RunKCM(p, true, machine.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		on, err = bench.RunKCM(p, true, machine.Config{GCThresholdWords: 2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(on.Stats.Cycles)/float64(off.Stats.Cycles), "gc-cycle-overhead")
+	b.ReportMetric(float64(on.Result.GC.Collections), "collections")
+	b.ReportMetric(float64(on.Result.GC.FreedWords), "freed-words")
+}
+
+// BenchmarkZebra runs the real-size search program end to end.
+func BenchmarkZebra(b *testing.B) {
+	p := bench.Program{Name: "zebra", Source: zebraSrc, PureQuery: "zebra(_Owner)."}
+	var r bench.RunResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.RunKCMWarm(p, true, machine.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Success {
+			b.Fatal("zebra failed")
+		}
+	}
+	b.ReportMetric(r.Klips(), "simulated-Klips")
+	b.ReportMetric(r.Millis(), "simulated-ms")
+}
+
+const zebraSrc = `
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+next_to(A, B, L) :- right_of(A, B, L).
+next_to(A, B, L) :- right_of(B, A, L).
+right_of(R, L, [L, R | _]).
+right_of(R, L, [_ | T]) :- right_of(R, L, T).
+first(X, [X | _]).
+middle(X, [_, _, X, _, _]).
+zebra(Owner) :-
+    Houses = [_, _, _, _, _],
+    member(house(red, english, _, _, _), Houses),
+    right_of(house(green, _, _, _, _), house(ivory, _, _, _, _), Houses),
+    first(house(_, norwegian, _, _, _), Houses),
+    middle(house(_, _, milk, _, _), Houses),
+    member(house(_, spanish, _, _, dog), Houses),
+    member(house(green, _, coffee, _, _), Houses),
+    member(house(_, ukrainian, tea, _, _), Houses),
+    member(house(_, _, _, oldgold, snails), Houses),
+    member(house(yellow, _, _, kools, _), Houses),
+    next_to(house(_, _, _, chesterfield, _), house(_, _, _, _, fox), Houses),
+    next_to(house(_, _, _, kools, _), house(_, _, _, _, horse), Houses),
+    member(house(_, _, orangejuice, luckystrike, _), Houses),
+    member(house(_, japanese, _, parliament, _), Houses),
+    next_to(house(blue, _, _, _, _), house(_, norwegian, _, _, _), Houses),
+    member(house(_, _, water, _, _), Houses),
+    member(house(_, Owner, _, _, zebra), Houses).
+`

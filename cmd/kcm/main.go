@@ -1,0 +1,122 @@
+// Command kcm compiles a Prolog program and runs a query on the KCM
+// simulator, reporting the paper's metrics (ms at 80 ns/cycle, Klips)
+// and the machine counters.
+//
+// Usage:
+//
+//	kcm [flags] program.pl...
+//
+// Example:
+//
+//	kcm -q 'nrev([1,2,3], R), write(R), nl.' nrev.pl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/term"
+)
+
+func main() {
+	var (
+		query   = flag.String("q", "main.", "query goal to run")
+		stats   = flag.Bool("stats", false, "print machine counters")
+		cache   = flag.Bool("cache", false, "print cache statistics")
+		trace   = flag.Bool("trace", false, "trace every instruction (macrocode monitor)")
+		shallow = flag.Bool("shallow", true, "enable shallow backtracking (delayed choice points)")
+		warm    = flag.Bool("warm", false, "time a second run with warm caches (paper protocol)")
+		prof    = flag.Bool("profile", false, "per-predicate cycle profile (Prolog-level monitor)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: kcm [flags] program.pl...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var src strings.Builder
+	for _, f := range flag.Args() {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		src.Write(b)
+		src.WriteByte('\n')
+	}
+	prog, err := core.Load(src.String())
+	if err != nil {
+		fatal(err)
+	}
+	cfg := machine.Config{Out: os.Stdout, Profile: *prof}
+	if !*shallow {
+		cfg.Shallow = machine.Off
+	}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+	sol, err := prog.QueryConfig(*query, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *warm && sol.Success {
+		// Second, warm-cache run for the timing.
+		sol2, err := prog.QueryConfig(*query, cfg)
+		if err == nil {
+			sol = sol2
+		}
+	}
+	if !sol.Success {
+		fmt.Println("no")
+		os.Exit(1)
+	}
+	fmt.Println("yes")
+	var names []string
+	for v := range sol.Bindings {
+		names = append(names, string(v))
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%s = %v\n", n, sol.Bindings[term.Var(n)])
+	}
+	s := sol.Result.Stats
+	fmt.Printf("\n%.3f ms, %d inferences, %.0f Klips (%d cycles at %.0f ns)\n",
+		s.Millis(), s.Inferences, s.Klips(), s.Cycles, s.NsPerCycle)
+	if *stats {
+		fmt.Printf("instructions      %12d\n", s.Instrs)
+		fmt.Printf("deref steps       %12d\n", s.DerefSteps)
+		fmt.Printf("unify nodes       %12d\n", s.UnifyNodes)
+		fmt.Printf("trail checks      %12d\n", s.TrailChecks)
+		fmt.Printf("trail pushes      %12d\n", s.TrailPushes)
+		fmt.Printf("shallow tries     %12d\n", s.ShallowTries)
+		fmt.Printf("shallow fails     %12d\n", s.ShallowFails)
+		fmt.Printf("deep fails        %12d\n", s.DeepFails)
+		fmt.Printf("choice points     %12d\n", s.ChoicePoints)
+		fmt.Printf("neck updates      %12d\n", s.NeckUpdates)
+		fmt.Printf("determinate necks %12d\n", s.NeckDet)
+		fmt.Printf("environments      %12d\n", s.EnvAllocs)
+	}
+	if *prof && len(sol.Result.Profile) > 0 {
+		fmt.Println()
+		fmt.Print(machine.RenderProfile(sol.Result.Profile, sol.Result.Stats.Cycles))
+	}
+	if *cache {
+		d, c := sol.Result.DCache, sol.Result.CCache
+		fmt.Printf("data cache: %d reads, %d writes, %.2f%% hits, %d writebacks\n",
+			d.Reads, d.Writes, d.HitRatio()*100, d.WriteBacks)
+		fmt.Printf("code cache: %d reads, %.2f%% hits\n", c.Reads, c.HitRatio()*100)
+		m := sol.Result.Mem
+		fmt.Printf("memory: %d reads, %d writes, %d page-mode hits\n", m.Reads, m.Writes, m.PageHits)
+		fmt.Printf("mmu: %d translations, %d demand pages\n",
+			sol.Result.DataMMU.Translations, sol.Result.DataMMU.PageFaults)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kcm:", err)
+	os.Exit(1)
+}

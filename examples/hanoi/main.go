@@ -1,0 +1,56 @@
+// Towers of Hanoi on the KCM, with the machine's own write/1 output,
+// reproducing the hanoi benchmark protocol of Table 2 (every move is
+// reported through the 5-cycle escape mechanism).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+const program = `
+hanoi(N) :- han(N, left, middle, right).
+han(0, _, _, _).
+han(N, A, B, C) :-
+    N1 is N - 1,
+    han(N1, A, C, B),
+    mv(A, B),
+    han(N1, C, B, A).
+mv(A, B) :- write(A), write(' -> '), write(B), nl.
+`
+
+func main() {
+	prog, err := core.Load(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Small instance: show the moves themselves.
+	fmt.Println("hanoi(3):")
+	sol, err := prog.QueryConfig("hanoi(3).", machine.Config{Out: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sol.Success {
+		log.Fatal("hanoi(3) failed")
+	}
+
+	// Larger instances: scaling of cycles and inferences (2^N - 1
+	// moves, each costing a fixed inference budget).
+	fmt.Println("\n size      moves  inferences        ms    Klips")
+	for n := 4; n <= 12; n += 2 {
+		var sink strings.Builder
+		sol, err := prog.QueryConfig(fmt.Sprintf("hanoi(%d).", n), machine.Config{Out: &sink})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := sol.Result.Stats
+		moves := strings.Count(sink.String(), "\n")
+		fmt.Printf("%5d %10d %11d %9.3f %8.0f\n", n, moves, s.Inferences, s.Millis(), s.Klips())
+	}
+}

@@ -1,0 +1,64 @@
+// N-queens on the KCM: a backtracking-heavy workload that exercises
+// the delayed choice-point machinery. The example solves growing
+// board sizes and shows how much of the choice-point traffic shallow
+// backtracking removes compared to the standard WAM policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+const program = `
+queens(N, Qs) :- range(1, N, Ns), solve(Ns, [], Qs).
+
+solve([], Qs, Qs).
+solve(Unplaced, Safe, Qs) :-
+    sel(Unplaced, Q, Rest),
+    \+ attack(Q, Safe),
+    solve(Rest, [Q | Safe], Qs).
+
+attack(X, Xs) :- att(X, 1, Xs).
+att(X, N, [Y | _]) :- X is Y + N.
+att(X, N, [Y | _]) :- X is Y - N.
+att(X, N, [_ | Ys]) :- N1 is N + 1, att(X, N1, Ys).
+
+sel([X | Xs], X, Xs).
+sel([Y | Ys], X, [Y | Zs]) :- sel(Ys, X, Zs).
+
+range(N, N, [N]) :- !.
+range(M, N, [M | Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+`
+
+func main() {
+	prog, err := core.Load(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("board  solution                   inferences      ms   Klips   CPs(shallow)  CPs(eager)")
+	for n := 4; n <= 8; n++ {
+		q := fmt.Sprintf("queens(%d, Qs).", n)
+		sol, err := prog.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !sol.Success {
+			fmt.Printf("%5d  no solution\n", n)
+			continue
+		}
+		qs, _ := sol.Binding("Qs")
+		s := sol.Result.Stats
+
+		// Same search with eager (standard WAM) choice points.
+		eag, err := prog.QueryConfig(q, machine.Config{Shallow: machine.Off})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %-25v %11d %7.3f %7.0f %13d %11d\n",
+			n, qs, s.Inferences, s.Millis(), s.Klips(),
+			s.ChoicePoints, eag.Result.Stats.ChoicePoints)
+	}
+}

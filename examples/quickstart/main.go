@@ -1,0 +1,64 @@
+// Quickstart: load a Prolog program, run queries on the simulated
+// Knowledge Crunching Machine, and read back bindings and machine
+// statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+const program = `
+% Classic list predicates.
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+length([], 0).
+length([_|T], N) :- length(T, M), N is M + 1.
+`
+
+func main() {
+	prog, err := core.Load(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A deterministic query with an output binding.
+	sol, err := prog.Query("append([a,b,c], [d,e], Xs).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	xs, _ := sol.Binding("Xs")
+	fmt.Println("append([a,b,c], [d,e], Xs)  =>  Xs =", xs)
+
+	// A query that backtracks: the second member solution.
+	sol, err = prog.Query("member(X, [1,2,3]), X > 1.")
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, _ := sol.Binding("X")
+	fmt.Println("member(X, [1,2,3]), X > 1   =>  X =", x)
+
+	// A failing query.
+	sol, err = prog.Query("member(z, [a,b,c]).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("member(z, [a,b,c])          =>  success =", sol.Success)
+
+	// Machine-level metrics: the simulator counts cycles at the KCM's
+	// 80 ns clock and logical inferences by the paper's definition.
+	sol, err = prog.Query("length([a,b,c,d,e,f,g,h], N).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := sol.Binding("N")
+	s := sol.Result.Stats
+	fmt.Printf("length(8 elements) => N = %v  (%d inferences, %d cycles, %.3f ms, %.0f Klips)\n",
+		n, s.Inferences, s.Cycles, s.Millis(), s.Klips())
+}

@@ -1,0 +1,230 @@
+// Package asm links compiled predicates into a KCM code image: a
+// contiguous block of 64-bit code words in the separate code address
+// space, with every label and call target resolved to an absolute
+// word address (all branches in KCM have absolute targets).
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// Base is the code-space address of the first linked instruction.
+// Address 0 holds the halt_fail bootstrap word the machine's bottom
+// choice point points at.
+const Base = 1
+
+// PredStats records the static size of one linked predicate, the
+// quantities compared in Table 1 of the paper.
+type PredStats struct {
+	Instrs int // instruction count
+	Words  int // 64-bit code words (switch tables included)
+}
+
+// Image is a linked, loadable code image.
+type Image struct {
+	Code    []word.Word
+	Entries map[term.Indicator]uint32
+	Stats   map[term.Indicator]PredStats
+	Order   []term.Indicator
+	Syms    *term.SymTab
+	// QueryVars is carried over from the module for result read-back.
+	QueryVars map[term.Var]int
+}
+
+// Entry returns the code address of a predicate.
+func (im *Image) Entry(pi term.Indicator) (uint32, bool) {
+	a, ok := im.Entries[pi]
+	return a, ok
+}
+
+// TotalInstrs sums instruction counts over the given predicates (all
+// when none given).
+func (im *Image) TotalInstrs(pis ...term.Indicator) int {
+	if len(pis) == 0 {
+		pis = im.Order
+	}
+	n := 0
+	for _, pi := range pis {
+		n += im.Stats[pi].Instrs
+	}
+	return n
+}
+
+// TotalWords sums code words the same way.
+func (im *Image) TotalWords(pis ...term.Indicator) int {
+	if len(pis) == 0 {
+		pis = im.Order
+	}
+	n := 0
+	for _, pi := range pis {
+		n += im.Stats[pi].Words
+	}
+	return n
+}
+
+// Link lays out every predicate of the module, resolves symbolic call
+// targets and intra-predicate labels, and encodes the instructions.
+// The image starts with the halt_fail bootstrap word at address 0.
+func Link(m *compiler.Module) (*Image, error) {
+	return link(m, Base, nil, true)
+}
+
+// LinkAt links a module for incremental loading at a given code-space
+// address: calls to predicates not defined in the module resolve
+// through the supplied external entry table (typically the entries of
+// an already loaded image). The returned image's Code contains only
+// the new words; Entries are absolute.
+func LinkAt(m *compiler.Module, base uint32, external map[term.Indicator]uint32) (*Image, error) {
+	return link(m, base, external, false)
+}
+
+func link(m *compiler.Module, base uint32, external map[term.Indicator]uint32, bootstrap bool) (*Image, error) {
+	im := &Image{
+		Entries:   map[term.Indicator]uint32{},
+		Stats:     map[term.Indicator]PredStats{},
+		Order:     append([]term.Indicator(nil), m.Order...),
+		Syms:      m.Syms,
+		QueryVars: m.QueryVars,
+	}
+	if bootstrap {
+		// Bootstrap word: halt_fail at address 0.
+		bw, err := kcmisa.Encode(kcmisa.Instr{Op: kcmisa.HaltFail})
+		if err != nil {
+			return nil, err
+		}
+		im.Code = append(im.Code, bw...)
+	}
+
+	// Pass 1: compute per-predicate instruction offsets and entries.
+	type layout struct {
+		pred *compiler.Pred
+		base uint32
+		offs []int // word offset of each instruction, relative to base
+	}
+	layouts := make([]layout, 0, len(m.Order))
+	addr := base
+	for _, pi := range m.Order {
+		p := m.Preds[pi]
+		lo := layout{pred: p, base: addr, offs: make([]int, len(p.Code)+1)}
+		o := 0
+		for i, in := range p.Code {
+			lo.offs[i] = o
+			o += in.Words()
+		}
+		lo.offs[len(p.Code)] = o
+		layouts = append(layouts, lo)
+		im.Entries[pi] = addr
+		im.Stats[pi] = PredStats{Instrs: len(p.Code), Words: o}
+		addr += uint32(o)
+	}
+
+	resolve := func(lo layout, l int) (int, error) {
+		if l == kcmisa.FailLabel {
+			return kcmisa.FailLabel, nil
+		}
+		if l < 0 || l >= len(lo.pred.Code) {
+			return 0, fmt.Errorf("asm: %v: label %d out of range", lo.pred.PI, l)
+		}
+		return int(lo.base) + lo.offs[l], nil
+	}
+
+	// Pass 2: resolve and encode.
+	var missing []string
+	for _, lo := range layouts {
+		for _, in := range lo.pred.Code {
+			r := in // copy
+			switch in.Op {
+			case kcmisa.Call, kcmisa.Execute:
+				e, ok := im.Entries[in.Proc]
+				if !ok {
+					e, ok = external[in.Proc]
+				}
+				if !ok {
+					missing = append(missing, fmt.Sprintf("%v (from %v)", in.Proc, lo.pred.PI))
+					e = 0
+				}
+				r.L = int(e)
+			case kcmisa.TryMeElse, kcmisa.RetryMeElse, kcmisa.Try, kcmisa.Retry,
+				kcmisa.Trust, kcmisa.Jump:
+				l, err := resolve(lo, in.L)
+				if err != nil {
+					return nil, err
+				}
+				r.L = l
+			case kcmisa.SwitchOnTerm:
+				t := *in.SwT
+				for _, p := range []*int{&t.Var, &t.Const, &t.List, &t.Struct} {
+					l, err := resolve(lo, *p)
+					if err != nil {
+						return nil, err
+					}
+					*p = l
+				}
+				r.SwT = &t
+			case kcmisa.SwitchOnConst, kcmisa.SwitchOnStruct:
+				l, err := resolve(lo, in.L)
+				if err != nil {
+					return nil, err
+				}
+				r.L = l
+				tbl := make([]kcmisa.SwEntry, len(in.Sw))
+				for i, e := range in.Sw {
+					l, err := resolve(lo, e.L)
+					if err != nil {
+						return nil, err
+					}
+					tbl[i] = kcmisa.SwEntry{Key: e.Key, L: l}
+				}
+				r.Sw = tbl
+			}
+			ws, err := kcmisa.Encode(r)
+			if err != nil {
+				return nil, err
+			}
+			im.Code = append(im.Code, ws...)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("asm: undefined predicates: %s", strings.Join(missing, ", "))
+	}
+	if base+uint32(len(im.Code))-boot(bootstrap) != addr {
+		return nil, fmt.Errorf("asm: layout mismatch: emitted %d words, expected %d", len(im.Code), addr-base)
+	}
+	return im, nil
+}
+
+// Disasm renders the image as a listing, useful for debugging and for
+// the kcmasm tool.
+func Disasm(im *Image) string {
+	var b strings.Builder
+	fetch := func(a uint32) word.Word { return im.Code[a] }
+	entryAt := map[uint32]term.Indicator{}
+	for pi, a := range im.Entries {
+		entryAt[a] = pi
+	}
+	for a := uint32(0); a < uint32(len(im.Code)); {
+		if pi, ok := entryAt[a]; ok {
+			fmt.Fprintf(&b, "\n%v:\n", pi)
+		}
+		in, n := kcmisa.Decode(fetch, a)
+		fmt.Fprintf(&b, "%6d  %v\n", a, in)
+		a += uint32(n)
+	}
+	return b.String()
+}
+
+// boot returns the bootstrap word count of an image layout.
+func boot(with bool) uint32 {
+	if with {
+		return Base
+	}
+	return 0
+}

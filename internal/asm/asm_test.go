@@ -1,0 +1,145 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/kcmisa"
+	"repro/internal/reader"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+func linkSrc(t *testing.T, src string) (*Image, *compiler.Module) {
+	t.Helper()
+	clauses, err := reader.ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compiler.New(nil)
+	m, err := c.CompileProgram(clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := Link(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im, m
+}
+
+const src = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+main :- app([1], [2], _).
+`
+
+func fetchImage(im *Image) kcmisa.Fetcher {
+	return func(a uint32) word.Word { return im.Code[a] }
+}
+
+func TestLinkLayout(t *testing.T) {
+	im, m := linkSrc(t, src)
+	// Bootstrap halt_fail at address 0; first predicate at Base.
+	in, _ := kcmisa.Decode(fetchImage(im), 0)
+	if in.Op != kcmisa.HaltFail {
+		t.Fatalf("address 0 holds %v", in)
+	}
+	if e, _ := im.Entry(term.Ind("app", 3)); e != Base {
+		t.Fatalf("first entry at %d", e)
+	}
+	// Sizes must agree with the module code.
+	for _, pi := range m.Order {
+		st := im.Stats[pi]
+		if st.Instrs != len(m.Preds[pi].Code) {
+			t.Errorf("%v: instr count %d vs code %d", pi, st.Instrs, len(m.Preds[pi].Code))
+		}
+		w := 0
+		for _, in := range m.Preds[pi].Code {
+			w += in.Words()
+		}
+		if st.Words != w {
+			t.Errorf("%v: word count %d vs %d", pi, st.Words, w)
+		}
+	}
+	if im.TotalInstrs() <= 0 || im.TotalWords() < im.TotalInstrs() {
+		t.Fatal("totals inconsistent")
+	}
+}
+
+func TestCallTargetsResolved(t *testing.T) {
+	im, _ := linkSrc(t, src)
+	appEntry, _ := im.Entry(term.Ind("app", 3))
+	// Walk the whole image: every call/execute must target a linked
+	// entry; every branch must stay inside the image or be FailLabel.
+	entries := map[int]bool{}
+	for _, a := range im.Entries {
+		entries[int(a)] = true
+	}
+	for a := uint32(1); a < uint32(len(im.Code)); {
+		in, n := kcmisa.Decode(fetchImage(im), a)
+		switch in.Op {
+		case kcmisa.Call, kcmisa.Execute:
+			if !entries[in.L] {
+				t.Fatalf("@%d: %v targets %d, not an entry", a, in, in.L)
+			}
+		case kcmisa.TryMeElse, kcmisa.RetryMeElse, kcmisa.Try, kcmisa.Retry, kcmisa.Trust:
+			if in.L != kcmisa.FailLabel && (in.L < 1 || in.L >= len(im.Code)) {
+				t.Fatalf("@%d: %v branch out of image", a, in)
+			}
+		}
+		a += uint32(n)
+	}
+	// The recursive execute in app/3 must point back at app's entry.
+	found := false
+	for a := appEntry; a < uint32(len(im.Code)); {
+		in, n := kcmisa.Decode(fetchImage(im), a)
+		if in.Op == kcmisa.Execute && in.L == int(appEntry) {
+			found = true
+		}
+		a += uint32(n)
+	}
+	if !found {
+		t.Fatal("no self-recursive execute found in app/3")
+	}
+}
+
+func TestUndefinedPredicate(t *testing.T) {
+	clauses, _ := reader.ParseAll("p :- missing(1).\n")
+	c := compiler.New(nil)
+	m, err := c.CompileProgram(clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Link(m); err == nil || !strings.Contains(err.Error(), "missing/1") {
+		t.Fatalf("want undefined-predicate error, got %v", err)
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	im, _ := linkSrc(t, src)
+	d := Disasm(im)
+	for _, want := range []string{"app/3:", "main/0:", "switch_on_term", "execute", "halt_fail"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestEncodedImageDecodesEverywhere(t *testing.T) {
+	// Decoding the image instruction by instruction must cover it
+	// exactly (no overlap, no gap).
+	im, _ := linkSrc(t, src)
+	a := uint32(0)
+	for a < uint32(len(im.Code)) {
+		_, n := kcmisa.Decode(fetchImage(im), a)
+		if n <= 0 {
+			t.Fatalf("decode at %d made no progress", a)
+		}
+		a += uint32(n)
+	}
+	if a != uint32(len(im.Code)) {
+		t.Fatalf("decode overran image: %d vs %d", a, len(im.Code))
+	}
+}

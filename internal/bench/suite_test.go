@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestSuiteRuns executes every benchmark in both variants and checks
+// success plus basic sanity of the counters.
+func TestSuiteRuns(t *testing.T) {
+	for _, p := range Suite {
+		for _, pure := range []bool{false, true} {
+			name := p.Name
+			if pure {
+				name += "*"
+			}
+			t.Run(name, func(t *testing.T) {
+				r, err := RunKCM(p, pure, machine.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !r.Success {
+					t.Fatalf("%s failed", name)
+				}
+				if r.Stats.Inferences == 0 {
+					t.Fatal("no inferences counted")
+				}
+				if r.Stats.Cycles == 0 {
+					t.Fatal("no cycles counted")
+				}
+				t.Logf("%-10s inf=%6d paper=%6d cycles=%8d ms=%.3f Klips=%.0f",
+					name, r.Stats.Inferences, paperInf(p, pure),
+					r.Stats.Cycles, r.Millis(), r.Klips())
+			})
+		}
+	}
+}
+
+func paperInf(p Program, pure bool) int {
+	if pure {
+		return p.PaperInferencesPure
+	}
+	return p.PaperInferences
+}
+
+// TestKnownOutputs checks programs whose printed output is known.
+func TestKnownOutputs(t *testing.T) {
+	cases := map[string]string{
+		"nrev1": "[30,29,28,27,26,25,24,23,22,21,20,19,18,17,16,15,14,13,12,11,10,9,8,7,6,5,4,3,2,1]\n",
+		"pri2":  "[2,3,5,7,11,13,17,19,23,29,31,37,41,43,47,53,59,61,67,71,73,79,83,89,97]\n",
+		"con1":  "[a,b,c|_G",
+	}
+	for name, want := range cases {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("no benchmark %s", name)
+		}
+		r, err := RunKCM(p, false, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(r.Output, want) {
+			t.Errorf("%s output = %q, want prefix %q", name, r.Output, want)
+		}
+	}
+}
+
+// TestQueensSolution verifies the queens benchmark finds a valid
+// placement.
+func TestQueensSolution(t *testing.T) {
+	p, _ := ByName("queens")
+	r, err := RunKCM(p, false, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Success {
+		t.Fatal("queens failed")
+	}
+	if !strings.Contains(r.Output, "[") {
+		t.Fatalf("no solution printed: %q", r.Output)
+	}
+	t.Logf("queens(5) = %s", strings.TrimSpace(r.Output))
+}

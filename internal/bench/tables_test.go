@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestTable1Shape checks the static-size acceptance criteria: KCM/PLM
+// instruction ratio near 1, byte ratio near 3, SPUR/KCM instruction
+// ratio well into the tens.
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderTable1(rows))
+	var kpI, kpB, skI, skB float64
+	for _, r := range rows {
+		kpI += r.KCMvsPLMInstr()
+		kpB += r.KCMvsPLMBytes()
+		skI += r.SPURvsKCMInstr()
+		skB += r.SPURvsKCMBytes()
+		if ri := r.KCMvsPLMInstr(); ri < 0.8 || ri > 1.8 {
+			t.Errorf("%s: KCM/PLM instr ratio %.2f outside [0.8, 1.8]", r.Program, ri)
+		}
+		if ri := r.SPURvsKCMInstr(); ri < 4 || ri > 25 {
+			t.Errorf("%s: SPUR/KCM instr ratio %.2f outside [4, 25]", r.Program, ri)
+		}
+	}
+	n := float64(len(rows))
+	if avg := kpI / n; avg < 0.95 || avg > 1.5 {
+		t.Errorf("avg KCM/PLM instr ratio %.2f, paper 1.10", avg)
+	}
+	if avg := kpB / n; avg < 2.2 || avg > 4.0 {
+		t.Errorf("avg KCM/PLM byte ratio %.2f, paper 2.96", avg)
+	}
+	if avg := skI / n; avg < 8 || avg > 20 {
+		t.Errorf("avg SPUR/KCM instr ratio %.2f, paper 13.61", avg)
+	}
+	if avg := skB / n; avg < 4 || avg > 10 {
+		t.Errorf("avg SPUR/KCM byte ratio %.2f, paper 6.43", avg)
+	}
+}
+
+// TestTable2Shape: KCM must beat the PLM model on every benchmark,
+// with the average ratio in the paper's 2-4x band.
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderTimeTable(rows, "PLM"))
+	var sum float64
+	for _, r := range rows {
+		if r.Ratio() < 1.0 {
+			t.Errorf("%s: PLM/KCM ratio %.2f < 1 (KCM must win)", r.Program, r.Ratio())
+		}
+		sum += r.Ratio()
+	}
+	if avg := sum / float64(len(rows)); avg < 2.0 || avg > 4.5 {
+		t.Errorf("avg PLM/KCM ratio %.2f, paper 3.05 (want 2.0-4.5)", avg)
+	}
+}
+
+// TestTable3Shape: KCM vs the QUINTUS model, paper average 7.85x,
+// range 5-10x; backtracking programs must show the larger ratios.
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderTimeTable(rows, "QUINTUS"))
+	var sum float64
+	n := 0
+	for _, r := range rows {
+		if r.PaperRatio == 0 {
+			continue // too small for the paper to time
+		}
+		n++
+		if r.Ratio() < 3 || r.Ratio() > 16 {
+			t.Errorf("%s: Q/KCM ratio %.2f outside [3, 16]", r.Program, r.Ratio())
+		}
+		sum += r.Ratio()
+	}
+	if avg := sum / float64(n); avg < 5.5 || avg > 11 {
+		t.Errorf("avg Q/KCM ratio %.2f, paper 7.85 (want 5.5-11)", avg)
+	}
+}
+
+// TestTable4Shape: the measured KCM peaks must reproduce the paper's
+// 833/760 Klips within a few percent.
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderTable4(rows))
+	for _, r := range rows {
+		if r.Machine != "KCM" {
+			continue
+		}
+		if r.ConKlips < 780 || r.ConKlips > 890 {
+			t.Errorf("KCM concat peak %.0f Klips, paper 833", r.ConKlips)
+		}
+		if r.RevKlips < 700 || r.RevKlips > 830 {
+			t.Errorf("KCM nrev peak %.0f Klips, paper 760", r.RevKlips)
+		}
+	}
+}
+
+// TestCacheStudyShape: hit ratio must be high with separated stacks,
+// collapse when the stack tops collide, and be restored by the
+// zone-split cache.
+func TestCacheStudyShape(t *testing.T) {
+	rows, err := CacheStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderCacheStudy(rows))
+	if len(rows) != 3 {
+		t.Fatal("want 3 configurations")
+	}
+	apart, collide, split := rows[0], rows[1], rows[2]
+	if apart.HitRatio < 0.90 {
+		t.Errorf("separated stacks hit ratio %.3f, want > 0.90", apart.HitRatio)
+	}
+	if collide.HitRatio > apart.HitRatio-0.05 {
+		t.Errorf("colliding stacks hit ratio %.3f did not drop vs %.3f",
+			collide.HitRatio, apart.HitRatio)
+	}
+	if split.HitRatio < apart.HitRatio-0.02 {
+		t.Errorf("split cache hit ratio %.3f should match separated case %.3f",
+			split.HitRatio, apart.HitRatio)
+	}
+}
+
+// TestAblationShallowShape: shallow backtracking must never lose, and
+// must create strictly fewer choice points overall.
+func TestAblationShallowShape(t *testing.T) {
+	rows, err := AblationShallow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderShallow(rows))
+	var sCP, eCP uint64
+	for _, r := range rows {
+		if r.Speedup() < 0.97 {
+			t.Errorf("%s: shallow backtracking slowdown %.2f", r.Program, r.Speedup())
+		}
+		if r.ShallowCPs > r.EagerCPs {
+			t.Errorf("%s: shallow created more CPs (%d > %d)", r.Program, r.ShallowCPs, r.EagerCPs)
+		}
+		sCP += r.ShallowCPs
+		eCP += r.EagerCPs
+	}
+	if sCP >= eCP {
+		t.Errorf("shallow total CPs %d not below eager %d", sCP, eCP)
+	}
+}
+
+// TestAblationUnits: disabling the dereference or trail hardware must
+// cost cycles on every benchmark that dereferences or trails.
+func TestAblationUnits(t *testing.T) {
+	for _, unit := range []string{"deref", "trail"} {
+		rows, err := AblationUnit(unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Log("\n" + RenderUnit(rows, unit))
+		for _, r := range rows {
+			if r.Slowdown() < 1.0 {
+				t.Errorf("%s/%s: slowdown %.3f < 1", unit, r.Program, r.Slowdown())
+			}
+		}
+	}
+}

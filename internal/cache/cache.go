@@ -1,0 +1,265 @@
+// Package cache implements KCM's logical (virtually-addressed)
+// caches: the copy-back data cache, direct-mapped but split into 8
+// sections of 1K words selected by the zone field of the address so
+// that different stacks can never collide, and the write-through code
+// cache with page-mode prefetch. Both have a line size of one word
+// and an 80 ns (single-cycle) hit time.
+package cache
+
+import "repro/internal/word"
+
+// Backing is the refill/writeback path behind a cache: the MMU in
+// front of physical memory. Costs are returned in cycles.
+type Backing interface {
+	Read(va uint32) (word.Word, int, error)
+	Write(va uint32, w word.Word) (int, error)
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	ReadMiss   uint64
+	WriteMiss  uint64
+	WriteBacks uint64
+}
+
+// Hits returns total hits.
+func (s Stats) Hits() uint64 { return s.Reads + s.Writes - s.ReadMiss - s.WriteMiss }
+
+// HitRatio returns the fraction of accesses served by the cache.
+func (s Stats) HitRatio() float64 {
+	t := s.Reads + s.Writes
+	if t == 0 {
+		return 1
+	}
+	return float64(s.Hits()) / float64(t)
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	va    uint32
+	zone  word.Zone
+	data  word.Word
+}
+
+// Data is the KCM data cache: 8K words total. With Split enabled
+// (the KCM configuration) the three zone bits select one of 8
+// sections of 1K; with Split disabled it degrades to a plain 8K
+// direct-mapped cache, the configuration used for the stack-collision
+// study in section 3.2.4.
+type Data struct {
+	lines []line
+	split bool
+	stats Stats
+	back  Backing
+}
+
+// DataWords is the data cache capacity.
+const DataWords = 8 * 1024
+
+const sectionWords = 1024
+
+// NewData creates the data cache.
+func NewData(back Backing, split bool) *Data {
+	return &Data{lines: make([]line, DataWords), split: split, back: back}
+}
+
+func (c *Data) index(va uint32, z word.Zone) uint32 {
+	if c.split {
+		return uint32(z&7)*sectionWords + va%sectionWords
+	}
+	return va % DataWords
+}
+
+// Read returns the word at virtual address va (zone z), the cost in
+// cycles beyond the single-cycle hit, and any translation error.
+func (c *Data) Read(va uint32, z word.Zone) (word.Word, int, error) {
+	c.stats.Reads++
+	ln := &c.lines[c.index(va, z)]
+	if ln.valid && ln.va == va && ln.zone == z {
+		return ln.data, 0, nil
+	}
+	c.stats.ReadMiss++
+	cost, err := c.fill(ln, va, z)
+	if err != nil {
+		return 0, cost, err
+	}
+	return ln.data, cost, nil
+}
+
+// Write stores w at va. The cache is copy-back: data reaches memory
+// only when the line is evicted.
+func (c *Data) Write(va uint32, z word.Zone, w word.Word) (int, error) {
+	c.stats.Writes++
+	ln := &c.lines[c.index(va, z)]
+	cost := 0
+	if !(ln.valid && ln.va == va && ln.zone == z) {
+		c.stats.WriteMiss++
+		// Allocate on write; no fetch needed for a full-word write
+		// with line size one, but a dirty victim must go to memory.
+		ev, err := c.evict(ln)
+		cost += ev
+		if err != nil {
+			return cost, err
+		}
+		ln.valid = true
+		ln.va = va
+		ln.zone = z
+	}
+	ln.data = w
+	ln.dirty = true
+	return cost, nil
+}
+
+func (c *Data) fill(ln *line, va uint32, z word.Zone) (int, error) {
+	cost, err := c.evict(ln)
+	if err != nil {
+		return cost, err
+	}
+	w, rc, err := c.back.Read(va)
+	cost += rc
+	if err != nil {
+		return cost, err
+	}
+	*ln = line{valid: true, va: va, zone: z, data: w}
+	return cost, nil
+}
+
+// WritebackCycles is the cycle cost charged for evicting a dirty
+// line. The store-in design drains evictions through a write buffer
+// in memory page mode, so the processor only stalls one cycle to hand
+// the word over; the DRAM traffic itself is overlapped.
+const WritebackCycles = 1
+
+func (c *Data) evict(ln *line) (int, error) {
+	if ln.valid && ln.dirty {
+		c.stats.WriteBacks++
+		if _, err := c.back.Write(ln.va, ln.data); err != nil {
+			return WritebackCycles, err
+		}
+		ln.dirty = false
+		return WritebackCycles, nil
+	}
+	return 0, nil
+}
+
+// Flush writes every dirty line back to memory (used when handing
+// pages to the code space and at end of run for verification).
+func (c *Data) Flush() (int, error) {
+	total := 0
+	for i := range c.lines {
+		cost, err := c.evict(&c.lines[i])
+		total += cost
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Invalidate drops every line (context switches would need this; the
+// single-task design never does, but the memory-management tests do).
+func (c *Data) Invalidate() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Data) Stats() Stats { return c.stats }
+
+// Peek returns the cached word at va without statistics or refill;
+// ok=false when the line is absent (read memory instead).
+func (c *Data) Peek(va uint32, z word.Zone) (word.Word, bool) {
+	ln := &c.lines[c.index(va, z)]
+	if ln.valid && ln.va == va && ln.zone == z {
+		return ln.data, true
+	}
+	return 0, false
+}
+
+// Code is the 8K-word write-through instruction cache. On a miss the
+// fill uses the memory page mode to prefetch the next sequential
+// words, which favours straight-line code.
+type Code struct {
+	lines    []line
+	back     Backing
+	prefetch int
+	stats    Stats
+}
+
+// CodeWords is the code cache capacity.
+const CodeWords = 8 * 1024
+
+// NewCode creates the code cache; prefetch is the number of
+// sequential words fetched ahead on a miss (0 disables).
+func NewCode(back Backing, prefetch int) *Code {
+	return &Code{lines: make([]line, CodeWords), back: back, prefetch: prefetch}
+}
+
+// Read fetches a code word.
+func (c *Code) Read(va uint32) (word.Word, int, error) {
+	c.stats.Reads++
+	ln := &c.lines[va%CodeWords]
+	if ln.valid && ln.va == va {
+		return ln.data, 0, nil
+	}
+	c.stats.ReadMiss++
+	w, cost, err := c.back.Read(va)
+	if err != nil {
+		return 0, cost, err
+	}
+	*ln = line{valid: true, va: va, data: w}
+	// Page-mode prefetch of the following words.
+	for i := 1; i <= c.prefetch; i++ {
+		pv := va + uint32(i)
+		pl := &c.lines[pv%CodeWords]
+		if pl.valid && pl.va == pv {
+			continue
+		}
+		pw, pc, err := c.back.Read(pv)
+		if err != nil {
+			break // prefetch beyond the image is harmless
+		}
+		cost += pc
+		*pl = line{valid: true, va: pv, data: pw}
+	}
+	return w, cost, nil
+}
+
+// Write stores through to memory and updates the cache (incremental
+// compilation writes directly into code space).
+func (c *Code) Write(va uint32, w word.Word) (int, error) {
+	c.stats.Writes++
+	cost, err := c.back.Write(va, w)
+	if err != nil {
+		return cost, err
+	}
+	ln := &c.lines[va%CodeWords]
+	*ln = line{valid: true, va: va, data: w}
+	return cost, nil
+}
+
+// Stats returns a copy of the counters.
+func (c *Code) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters of the data cache (contents stay).
+func (c *Data) ResetStats() { c.stats = Stats{} }
+
+// ResetStats clears the counters of the code cache (contents stay).
+func (c *Code) ResetStats() { c.stats = Stats{} }
+
+// InvalidateRange drops every data-cache line whose address falls in
+// [start, end) of the given zone, discarding dirty contents: used when
+// a data page is handed over to the code space (the staged copy has
+// already been flushed).
+func (c *Data) InvalidateRange(z word.Zone, start, end uint32) {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && ln.zone == z && ln.va >= start && ln.va < end {
+			*ln = line{}
+		}
+	}
+}

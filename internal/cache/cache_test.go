@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+// fakeBack is a Backing over a map with fixed costs.
+type fakeBack struct {
+	data   map[uint32]word.Word
+	rc, wc int
+	reads  int
+	writes int
+}
+
+func newBack() *fakeBack {
+	return &fakeBack{data: map[uint32]word.Word{}, rc: 4, wc: 4}
+}
+
+func (b *fakeBack) Read(va uint32) (word.Word, int, error) {
+	b.reads++
+	return b.data[va], b.rc, nil
+}
+
+func (b *fakeBack) Write(va uint32, w word.Word) (int, error) {
+	b.writes++
+	b.data[va] = w
+	return b.wc, nil
+}
+
+func TestDataReadMissThenHit(t *testing.T) {
+	b := newBack()
+	b.data[100] = word.FromInt(7)
+	c := NewData(b, true)
+	w, cost, err := c.Read(100, word.ZGlobal)
+	if err != nil || w.Int() != 7 {
+		t.Fatalf("read: %v %v", w, err)
+	}
+	if cost != 4 {
+		t.Fatalf("miss cost %d", cost)
+	}
+	_, cost, _ = c.Read(100, word.ZGlobal)
+	if cost != 0 {
+		t.Fatalf("hit cost %d", cost)
+	}
+	s := c.Stats()
+	if s.Reads != 2 || s.ReadMiss != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDataCopyBack(t *testing.T) {
+	b := newBack()
+	c := NewData(b, true)
+	// A write stays in the cache until evicted.
+	c.Write(5, word.ZGlobal, word.FromInt(1))
+	if b.writes != 0 {
+		t.Fatal("write-through behaviour in a copy-back cache")
+	}
+	// Evict by touching the conflicting index (same section, +8K).
+	c.Write(5+8*1024, word.ZGlobal, word.FromInt(2))
+	if b.writes != 1 {
+		t.Fatalf("dirty eviction did not reach memory (%d writes)", b.writes)
+	}
+	if got := b.data[5]; got.Int() != 1 {
+		t.Fatalf("memory got %v", got)
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Fatalf("writebacks %d", c.Stats().WriteBacks)
+	}
+}
+
+func TestDataFlush(t *testing.T) {
+	b := newBack()
+	c := NewData(b, true)
+	for i := uint32(0); i < 10; i++ {
+		c.Write(i, word.ZGlobal, word.FromInt(int32(i)))
+	}
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 10; i++ {
+		if b.data[i].Int() != int32(i) {
+			t.Fatalf("flush lost word %d", i)
+		}
+	}
+	// Flushing twice writes nothing new.
+	w := b.writes
+	c.Flush()
+	if b.writes != w {
+		t.Fatal("second flush wrote")
+	}
+}
+
+func TestSplitPreventsZoneCollisions(t *testing.T) {
+	b := newBack()
+	split := NewData(b, true)
+	// Same index in two zones: both stay resident in a split cache.
+	split.Write(0x100, word.ZGlobal, word.FromInt(1))
+	split.Write(0x100, word.ZLocal, word.FromInt(2))
+	if w, _, _ := split.Read(0x100, word.ZGlobal); w.Int() != 1 {
+		t.Fatal("global line evicted in split cache")
+	}
+	if split.Stats().ReadMiss != 0 {
+		t.Fatalf("split cache missed: %+v", split.Stats())
+	}
+
+	uni := NewData(newBack(), false)
+	uni.Write(0x100, word.ZGlobal, word.FromInt(1))
+	uni.Write(0x100, word.ZLocal, word.FromInt(2)) // same index: evicts
+	uni.Read(0x100, word.ZGlobal)
+	if uni.Stats().ReadMiss != 1 {
+		t.Fatalf("unified cache should collide: %+v", uni.Stats())
+	}
+}
+
+func TestDataPeek(t *testing.T) {
+	c := NewData(newBack(), true)
+	if _, ok := c.Peek(9, word.ZGlobal); ok {
+		t.Fatal("peek hit on empty cache")
+	}
+	c.Write(9, word.ZGlobal, word.FromInt(3))
+	w, ok := c.Peek(9, word.ZGlobal)
+	if !ok || w.Int() != 3 {
+		t.Fatalf("peek %v %v", w, ok)
+	}
+	if c.Stats().Reads != 0 {
+		t.Fatal("peek counted as a read")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	b := newBack()
+	c := NewData(b, true)
+	c.Write(1, word.ZGlobal, word.FromInt(1))
+	c.Invalidate()
+	if _, ok := c.Peek(1, word.ZGlobal); ok {
+		t.Fatal("line survived invalidate")
+	}
+}
+
+func TestCodePrefetch(t *testing.T) {
+	b := newBack()
+	for i := uint32(0); i < 64; i++ {
+		b.data[i] = word.Word(i)
+	}
+	c := NewCode(b, 3)
+	c.Read(0) // miss: fetches 0 and prefetches 1..3
+	for i := uint32(1); i <= 3; i++ {
+		if _, cost, _ := c.Read(i); cost != 0 {
+			t.Fatalf("word %d not prefetched", i)
+		}
+	}
+	if s := c.Stats(); s.ReadMiss != 1 {
+		t.Fatalf("misses %d, want 1 (prefetch covers the rest)", s.ReadMiss)
+	}
+	nop := NewCode(newBackFrom(b.data), 0)
+	nop.Read(0)
+	if _, cost, _ := nop.Read(1); cost == 0 {
+		t.Fatal("prefetch disabled but word 1 cached")
+	}
+}
+
+func newBackFrom(data map[uint32]word.Word) *fakeBack {
+	b := newBack()
+	for k, v := range data {
+		b.data[k] = v
+	}
+	return b
+}
+
+func TestCodeWriteThrough(t *testing.T) {
+	b := newBack()
+	c := NewCode(b, 0)
+	c.Write(10, word.FromInt(5))
+	if b.data[10].Int() != 5 {
+		t.Fatal("write did not reach memory (write-through!)")
+	}
+	if w, cost, _ := c.Read(10); w.Int() != 5 || cost != 0 {
+		t.Fatal("written word not cached")
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 1 {
+		t.Fatal("empty stats should report ratio 1")
+	}
+	s = Stats{Reads: 8, Writes: 2, ReadMiss: 1, WriteMiss: 1}
+	if got := s.HitRatio(); got != 0.8 {
+		t.Fatalf("ratio %v", got)
+	}
+	if s.Hits() != 8 {
+		t.Fatalf("hits %d", s.Hits())
+	}
+}

@@ -1,0 +1,497 @@
+package compiler
+
+import (
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+)
+
+// ---------- head unification (read context) ----------
+
+type getTask struct {
+	reg kcmisa.Reg
+	t   *term.Compound
+}
+
+// emitGets compiles the head arguments. It only writes safe-zone
+// temporaries: argument registers A1..An stay intact through the head
+// so a shallow fail can retry the next clause without restoring them.
+func (cc *clauseComp) emitGets(args []term.Term) error {
+	var queue []getTask
+	for i, a := range args {
+		ai := kcmisa.Reg(i + 1)
+		switch x := a.(type) {
+		case term.Var:
+			vi := cc.info(x)
+			if !vi.init {
+				vi.x = int(ai)
+				vi.init = true
+				if vi.perm {
+					cc.pending = append(cc.pending, pendMove{x: int(ai), y: vi.y})
+				}
+			} else {
+				cc.emit(kcmisa.Instr{Op: kcmisa.GetValX, R1: kcmisa.Reg(vi.x), R2: ai})
+			}
+		case term.Atom:
+			if x == term.NilAtom {
+				cc.emit(kcmisa.Instr{Op: kcmisa.GetNil, R2: ai})
+			} else {
+				k, _ := cc.c.constWord(x)
+				cc.emit(kcmisa.Instr{Op: kcmisa.GetConst, K: k, R2: ai})
+			}
+		case term.Int, term.Float:
+			k, _ := cc.c.constWord(x)
+			cc.emit(kcmisa.Instr{Op: kcmisa.GetConst, K: k, R2: ai})
+		case *term.Compound:
+			if err := cc.emitGetCompound(ai, x, &queue); err != nil {
+				return err
+			}
+		}
+	}
+	for len(queue) > 0 {
+		task := queue[0]
+		queue = queue[1:]
+		if err := cc.emitGetCompound(task.reg, task.t, &queue); err != nil {
+			return err
+		}
+		cc.freeTemp(task.reg)
+	}
+	return nil
+}
+
+func (cc *clauseComp) emitGetCompound(r kcmisa.Reg, t *term.Compound, queue *[]getTask) error {
+	if t.Functor == term.DotAtom && len(t.Args) == 2 {
+		cc.emit(kcmisa.Instr{Op: kcmisa.GetList, R2: r})
+		return cc.emitListSpine(t, queue)
+	}
+	cc.emit(kcmisa.Instr{Op: kcmisa.GetStruct, K: cc.c.functorWord(t.Functor, len(t.Args)), R2: r})
+	return cc.emitUnifySeq(t.Args, queue)
+}
+
+// emitListSpine compiles the cells of a list pattern in place with
+// unify_list continuing from one cell to the next, so a static list
+// costs two instructions per cell (the encoding the paper compares
+// against PLM's one-instruction cdr-coding).
+func (cc *clauseComp) emitListSpine(t *term.Compound, queue *[]getTask) error {
+	for {
+		head, tail, _ := term.IsCons(t)
+		if err := cc.emitUnifySeq([]term.Term{head}, queue); err != nil {
+			return err
+		}
+		if next, ok := tail.(*term.Compound); ok && next.Functor == term.DotAtom && len(next.Args) == 2 {
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyList})
+			t = next
+			continue
+		}
+		return cc.emitUnifySeq([]term.Term{tail}, queue)
+	}
+}
+
+// emitUnifySeq compiles the argument sequence of a get_list or
+// get_structure (read or write mode at run time). Nested compounds
+// are bound to fresh temporaries and processed breadth-first, exactly
+// like WAM compilers do for head terms.
+func (cc *clauseComp) emitUnifySeq(args []term.Term, queue *[]getTask) error {
+	voids := 0
+	flushVoids := func() {
+		if voids > 0 {
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyVoid, N: voids})
+			voids = 0
+		}
+	}
+	for _, a := range args {
+		switch x := a.(type) {
+		case term.Var:
+			vi := cc.info(x)
+			if vi.occ == 1 && !vi.perm {
+				voids++
+				continue
+			}
+			flushVoids()
+			if !vi.init {
+				if vi.perm && cc.allocated {
+					cc.emit(kcmisa.Instr{Op: kcmisa.UnifyVarY, N: vi.y})
+					vi.init = true
+					vi.fresh = true
+					continue
+				}
+				r, err := cc.allocTemp()
+				if err != nil {
+					return err
+				}
+				cc.emit(kcmisa.Instr{Op: kcmisa.UnifyVarX, R1: r})
+				vi.x = int(r)
+				vi.init = true
+				vi.fresh = true
+				vi.owned = true
+				if vi.perm {
+					cc.pending = append(cc.pending, pendMove{x: int(r), y: vi.y})
+				}
+			} else {
+				cc.emitUnifyValue(vi)
+			}
+		case term.Atom:
+			flushVoids()
+			if x == term.NilAtom {
+				cc.emit(kcmisa.Instr{Op: kcmisa.UnifyNil})
+			} else {
+				k, _ := cc.c.constWord(x)
+				cc.emit(kcmisa.Instr{Op: kcmisa.UnifyConst, K: k})
+			}
+		case term.Int, term.Float:
+			flushVoids()
+			k, _ := cc.c.constWord(x)
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyConst, K: k})
+		case *term.Compound:
+			flushVoids()
+			r, err := cc.allocTemp()
+			if err != nil {
+				return err
+			}
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyVarX, R1: r})
+			*queue = append(*queue, getTask{reg: r, t: x})
+		}
+	}
+	flushVoids()
+	return nil
+}
+
+// emitUnifyValue emits the value form of unify for an initialised
+// variable: the local variant whenever the register might hold a
+// reference into the local stack (head-bound arguments, permanent
+// variables), so that write mode never stores a heap-to-local
+// reference.
+func (cc *clauseComp) emitUnifyValue(vi *vinfo) {
+	if vi.x >= 0 {
+		if vi.fresh {
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyValX, R1: kcmisa.Reg(vi.x)})
+		} else {
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyLocX, R1: kcmisa.Reg(vi.x)})
+		}
+		return
+	}
+	// Permanent variable not cached in a register.
+	if vi.fresh && !vi.unsafeRef {
+		cc.emit(kcmisa.Instr{Op: kcmisa.UnifyValY, N: vi.y})
+	} else {
+		cc.emit(kcmisa.Instr{Op: kcmisa.UnifyLocY, N: vi.y})
+	}
+}
+
+// ---------- goal arguments (put context) ----------
+
+// emitPuts loads A1..Am for a call or built-in. lastCall marks the
+// final body goal, where unsafe permanent variables are globalised
+// with put_unsafe_value before the environment is deallocated.
+func (cc *clauseComp) emitPuts(args []term.Term, lastCall bool) error {
+	m := len(args)
+	// Phase A: evacuate variables living in argument registers that
+	// are about to be overwritten. KCM's one-cycle register moves make
+	// this cheap.
+	for _, v := range cc.order {
+		vi := cc.vars[v]
+		if vi.x < 1 || vi.x > m {
+			continue
+		}
+		occs := occPositions(args, v)
+		if len(occs) == 0 {
+			continue // dead here: chunk analysis guarantees no later use
+		}
+		if len(occs) == 1 && occs[0] == vi.x-1 && term.Equal(args[occs[0]], v) {
+			continue // the whole argument, already in its target register
+		}
+		r, err := cc.allocTemp()
+		if err != nil {
+			return err
+		}
+		cc.emit(kcmisa.Instr{Op: kcmisa.GetVarX, R1: r, R2: kcmisa.Reg(vi.x)})
+		vi.x = int(r)
+		vi.owned = true
+	}
+	// Phase B: fill the argument registers.
+	for j, a := range args {
+		target := kcmisa.Reg(j + 1)
+		if err := cc.emitPutArg(a, target, lastCall); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func occPositions(args []term.Term, v term.Var) []int {
+	var out []int
+	for i, a := range args {
+		if term.Equal(a, v) {
+			out = append(out, i)
+		} else if hasVar(a, v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func hasVar(t term.Term, v term.Var) bool {
+	switch x := t.(type) {
+	case term.Var:
+		return x == v
+	case *term.Compound:
+		for _, a := range x.Args {
+			if hasVar(a, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (cc *clauseComp) emitPutArg(a term.Term, target kcmisa.Reg, lastCall bool) error {
+	switch x := a.(type) {
+	case term.Var:
+		vi := cc.info(x)
+		switch {
+		case vi.occ == 1 && !vi.perm:
+			cc.emit(kcmisa.Instr{Op: kcmisa.PutVarX, R1: target, R2: target})
+		case vi.perm && !vi.init:
+			cc.emit(kcmisa.Instr{Op: kcmisa.PutVarY, N: vi.y, R2: target})
+			vi.init = true
+			vi.unsafeRef = true
+		case vi.perm && lastCall && vi.unsafeRef:
+			// Globalise before the environment disappears, even if a
+			// (possibly local) copy is cached in a register.
+			cc.emit(kcmisa.Instr{Op: kcmisa.PutUnsafeY, N: vi.y, R2: target})
+			vi.x = -1
+		case vi.perm && vi.x < 0:
+			cc.emit(kcmisa.Instr{Op: kcmisa.PutValY, N: vi.y, R2: target})
+		case !vi.init:
+			// First occurrence of a temporary as a goal argument.
+			r, err := cc.allocTemp()
+			if err != nil {
+				return err
+			}
+			cc.emit(kcmisa.Instr{Op: kcmisa.PutVarX, R1: r, R2: target})
+			vi.x = int(r)
+			vi.init = true
+			vi.fresh = true
+			vi.owned = true
+		case vi.x == int(target):
+			// already in place
+		default:
+			cc.emit(kcmisa.Instr{Op: kcmisa.PutValX, R1: kcmisa.Reg(vi.x), R2: target})
+		}
+		return nil
+	case term.Atom:
+		if x == term.NilAtom {
+			cc.emit(kcmisa.Instr{Op: kcmisa.PutNil, R2: target})
+			return nil
+		}
+		k, _ := cc.c.constWord(x)
+		cc.emit(kcmisa.Instr{Op: kcmisa.PutConst, K: k, R2: target})
+		return nil
+	case term.Int, term.Float:
+		k, _ := cc.c.constWord(x)
+		cc.emit(kcmisa.Instr{Op: kcmisa.PutConst, K: k, R2: target})
+		return nil
+	case *term.Compound:
+		return cc.emitBuildInto(x, target)
+	}
+	return cc.errf("cannot put %v", a)
+}
+
+// emitBuild constructs a compound term bottom-up in write mode and
+// returns the register holding it. Child compounds are built first so
+// every unify instruction refers to a finished value.
+func (cc *clauseComp) emitBuild(t *term.Compound) (kcmisa.Reg, error) {
+	r, err := cc.allocTemp()
+	if err != nil {
+		return 0, err
+	}
+	return r, cc.emitBuildAt(t, r)
+}
+
+func (cc *clauseComp) emitBuildInto(t *term.Compound, target kcmisa.Reg) error {
+	return cc.emitBuildAt(t, target)
+}
+
+func (cc *clauseComp) emitBuildAt(t *term.Compound, target kcmisa.Reg) error {
+	if t.Functor == term.DotAtom && len(t.Args) == 2 {
+		return cc.emitBuildList(t, target)
+	}
+	// Build nested compounds first.
+	children := make(map[int]kcmisa.Reg)
+	for i, a := range t.Args {
+		if sub, ok := a.(*term.Compound); ok {
+			r, err := cc.emitBuild(sub)
+			if err != nil {
+				return err
+			}
+			children[i] = r
+		}
+	}
+	cc.emit(kcmisa.Instr{Op: kcmisa.PutStruct, K: cc.c.functorWord(t.Functor, len(t.Args)), R2: target})
+	voids := 0
+	flushVoids := func() {
+		if voids > 0 {
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyVoid, N: voids})
+			voids = 0
+		}
+	}
+	for i, a := range t.Args {
+		switch x := a.(type) {
+		case term.Var:
+			vi := cc.info(x)
+			if vi.occ == 1 && !vi.perm {
+				voids++
+				continue
+			}
+			flushVoids()
+			if !vi.init {
+				if vi.perm && cc.allocated {
+					cc.emit(kcmisa.Instr{Op: kcmisa.UnifyVarY, N: vi.y})
+					vi.init = true
+					vi.fresh = true
+					continue
+				}
+				r, err := cc.allocTemp()
+				if err != nil {
+					return err
+				}
+				cc.emit(kcmisa.Instr{Op: kcmisa.UnifyVarX, R1: r})
+				vi.x = int(r)
+				vi.init = true
+				vi.fresh = true
+				vi.owned = true
+				if vi.perm {
+					cc.pending = append(cc.pending, pendMove{x: int(r), y: vi.y})
+				}
+			} else {
+				cc.emitUnifyValue(vi)
+			}
+		case term.Atom:
+			flushVoids()
+			if x == term.NilAtom {
+				cc.emit(kcmisa.Instr{Op: kcmisa.UnifyNil})
+			} else {
+				k, _ := cc.c.constWord(x)
+				cc.emit(kcmisa.Instr{Op: kcmisa.UnifyConst, K: k})
+			}
+		case term.Int, term.Float:
+			flushVoids()
+			k, _ := cc.c.constWord(x)
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyConst, K: k})
+		case *term.Compound:
+			flushVoids()
+			r := children[i]
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyValX, R1: r})
+			cc.freeTemp(r)
+		}
+	}
+	flushVoids()
+	return nil
+}
+
+// emitBuildList constructs a list bottom-up only for non-spine
+// children: the spine itself is written as one sequential run of
+// cells chained with unify_list, matching the heap layout the cells
+// will occupy.
+func (cc *clauseComp) emitBuildList(t *term.Compound, target kcmisa.Reg) error {
+	// Collect the spine.
+	var cars []term.Term
+	var tail term.Term
+	cur := t
+	for {
+		head, tl, _ := term.IsCons(cur)
+		cars = append(cars, head)
+		if next, ok := tl.(*term.Compound); ok && next.Functor == term.DotAtom && len(next.Args) == 2 {
+			cur = next
+			continue
+		}
+		tail = tl
+		break
+	}
+	// Prebuild compound cars and a compound (non-list) tail.
+	carReg := make(map[int]kcmisa.Reg)
+	for i, car := range cars {
+		if sub, ok := car.(*term.Compound); ok {
+			r, err := cc.emitBuild(sub)
+			if err != nil {
+				return err
+			}
+			carReg[i] = r
+		}
+	}
+	var tailReg kcmisa.Reg
+	tailComp, tailIsComp := tail.(*term.Compound)
+	if tailIsComp {
+		r, err := cc.emitBuild(tailComp)
+		if err != nil {
+			return err
+		}
+		tailReg = r
+	}
+	cc.emit(kcmisa.Instr{Op: kcmisa.PutList, R2: target})
+	for i, car := range cars {
+		if r, ok := carReg[i]; ok {
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyValX, R1: r})
+			cc.freeTemp(r)
+		} else if err := cc.emitWriteArg(car); err != nil {
+			return err
+		}
+		if i < len(cars)-1 {
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyList})
+		}
+	}
+	if tailIsComp {
+		cc.emit(kcmisa.Instr{Op: kcmisa.UnifyValX, R1: tailReg})
+		cc.freeTemp(tailReg)
+		return nil
+	}
+	return cc.emitWriteArg(tail)
+}
+
+// emitWriteArg emits one unify instruction for a non-compound subterm
+// in write mode (constants and variables).
+func (cc *clauseComp) emitWriteArg(a term.Term) error {
+	switch x := a.(type) {
+	case term.Var:
+		vi := cc.info(x)
+		if vi.occ == 1 && !vi.perm {
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyVoid, N: 1})
+			return nil
+		}
+		if !vi.init {
+			if vi.perm && cc.allocated {
+				cc.emit(kcmisa.Instr{Op: kcmisa.UnifyVarY, N: vi.y})
+				vi.init = true
+				vi.fresh = true
+				return nil
+			}
+			r, err := cc.allocTemp()
+			if err != nil {
+				return err
+			}
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyVarX, R1: r})
+			vi.x = int(r)
+			vi.init = true
+			vi.fresh = true
+			vi.owned = true
+			if vi.perm {
+				cc.pending = append(cc.pending, pendMove{x: int(r), y: vi.y})
+			}
+			return nil
+		}
+		cc.emitUnifyValue(vi)
+		return nil
+	case term.Atom:
+		if x == term.NilAtom {
+			cc.emit(kcmisa.Instr{Op: kcmisa.UnifyNil})
+			return nil
+		}
+		k, _ := cc.c.constWord(x)
+		cc.emit(kcmisa.Instr{Op: kcmisa.UnifyConst, K: k})
+		return nil
+	case term.Int, term.Float:
+		k, _ := cc.c.constWord(x)
+		cc.emit(kcmisa.Instr{Op: kcmisa.UnifyConst, K: k})
+		return nil
+	}
+	return cc.errf("cannot write %v", a)
+}

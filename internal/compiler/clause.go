@@ -1,0 +1,401 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+)
+
+// goalKind classifies a body goal for code generation.
+type goalKind int
+
+const (
+	gCall    goalKind = iota // user predicate: call/execute
+	gBuiltin                 // escape built-in (write, nl, ...)
+	gInline                  // inline arithmetic, tests, unification
+	gCut
+	gTrue
+	gFail
+)
+
+// inlinePIs are the goals compiled to inline instruction sequences.
+// They are exactly the state-preserving goals that may form a clause
+// guard in the shallow-backtracking sense of the paper.
+var inlinePIs = map[term.Indicator]bool{
+	term.Ind("is", 2): true,
+	term.Ind("<", 2):  true, term.Ind(">", 2): true,
+	term.Ind("=<", 2): true, term.Ind(">=", 2): true,
+	term.Ind("=:=", 2): true, term.Ind("=\\=", 2): true,
+	term.Ind("var", 1): true, term.Ind("nonvar", 1): true,
+	term.Ind("atom", 1): true, term.Ind("integer", 1): true,
+	term.Ind("atomic", 1): true,
+	term.Ind("==", 2):     true, term.Ind("\\==", 2): true,
+	term.Ind("=", 2): true,
+}
+
+func classifyGoal(t term.Term) (goalKind, error) {
+	switch x := t.(type) {
+	case term.Var:
+		return 0, fmt.Errorf("compiler: meta-call of variable goal is not supported")
+	case term.Int, term.Float:
+		return 0, fmt.Errorf("compiler: %v is not a callable goal", x)
+	}
+	pi, _ := term.TermIndicator(t)
+	switch {
+	case pi == term.Ind("!", 0):
+		return gCut, nil
+	case pi == term.Ind("true", 0):
+		return gTrue, nil
+	case pi == term.Ind("fail", 0) || pi == term.Ind("false", 0):
+		return gFail, nil
+	case inlinePIs[pi]:
+		return gInline, nil
+	default:
+		if _, ok := kcmisa.BuiltinByName[pi]; ok {
+			return gBuiltin, nil
+		}
+		return gCall, nil
+	}
+}
+
+// vinfo is the per-variable compilation state.
+type vinfo struct {
+	occ       int  // total occurrences in the clause
+	perm      bool // permanent: lives in an environment slot
+	y         int  // environment slot (when perm)
+	x         int  // register currently holding it, -1 if none
+	owned     bool // the register in x is a clause temp (not an A reg)
+	init      bool // storage exists (Y written, or X holds the value)
+	unsafeRef bool // storage is a local-stack cell (PutVarY): needs put_unsafe
+	fresh     bool // register holds a self-contained or heap value:
+	// safe for unify_value in write mode without globalisation
+	chunks map[int]bool
+}
+
+type pendMove struct{ x, y int }
+
+// clauseComp compiles one normalised clause to straight-line code.
+type clauseComp struct {
+	c     *Compiler
+	pi    term.Indicator
+	multi bool
+	query map[term.Var]int // non-nil when compiling $query
+
+	goals []term.Term
+	kinds []goalKind
+
+	vars  map[term.Var]*vinfo
+	order []term.Var
+
+	code      []kcmisa.Instr
+	safeBase  int
+	tempNext  int
+	freeList  []int
+	nY        int
+	cutSlot   int
+	firstCall int // index of first gCall goal, len(goals) if none
+	guardEnd  int // goals[:guardEnd] form the guard
+	needEnv   bool
+	allocated bool
+	pending   []pendMove
+}
+
+func (cc *clauseComp) emit(in kcmisa.Instr) { cc.code = append(cc.code, in) }
+
+func (cc *clauseComp) errf(format string, args ...any) error {
+	return fmt.Errorf("compiler: %v: %s", cc.pi, fmt.Sprintf(format, args...))
+}
+
+func (cc *clauseComp) allocTemp() (kcmisa.Reg, error) {
+	if n := len(cc.freeList); n > 0 {
+		r := cc.freeList[n-1]
+		cc.freeList = cc.freeList[:n-1]
+		return kcmisa.Reg(r), nil
+	}
+	if cc.tempNext >= kcmisa.NumRegs {
+		return 0, cc.errf("out of temporary registers")
+	}
+	r := cc.tempNext
+	cc.tempNext++
+	return kcmisa.Reg(r), nil
+}
+
+func (cc *clauseComp) freeTemp(r kcmisa.Reg) {
+	if int(r) >= cc.safeBase {
+		cc.freeList = append(cc.freeList, int(r))
+	}
+}
+
+// resetTemps is called at each chunk boundary: every register is dead.
+func (cc *clauseComp) resetTemps() {
+	cc.tempNext = cc.safeBase
+	cc.freeList = cc.freeList[:0]
+	for _, v := range cc.order {
+		vi := cc.vars[v]
+		vi.x = -1
+		vi.owned = false
+	}
+}
+
+func (cc *clauseComp) info(v term.Var) *vinfo {
+	vi, ok := cc.vars[v]
+	if !ok {
+		vi = &vinfo{x: -1, chunks: map[int]bool{}}
+		cc.vars[v] = vi
+		cc.order = append(cc.order, v)
+	}
+	return vi
+}
+
+// analyze performs occurrence counting, chunk assignment, permanence
+// classification and environment-slot allocation.
+func (cc *clauseComp) analyze(head term.Term) error {
+	chunk := 0
+	var scan func(t term.Term)
+	scan = func(t term.Term) {
+		switch x := t.(type) {
+		case term.Var:
+			vi := cc.info(x)
+			vi.occ++
+			vi.chunks[chunk] = true
+		case *term.Compound:
+			for _, a := range x.Args {
+				scan(a)
+			}
+		}
+	}
+	scan(head)
+	cc.firstCall = len(cc.goals)
+	for i, g := range cc.goals {
+		k, err := classifyGoal(g)
+		if err != nil {
+			return err
+		}
+		cc.kinds = append(cc.kinds, k)
+		if k == gCall && i < cc.firstCall {
+			cc.firstCall = i
+		}
+		scan(g)
+		if k == gCall || k == gBuiltin {
+			chunk++
+		}
+	}
+	// Permanence.
+	for _, v := range cc.order {
+		vi := cc.vars[v]
+		vi.perm = len(vi.chunks) > 1
+		if cc.query != nil && v[0] != '_' {
+			vi.perm = true // keep query bindings readable at halt
+		}
+	}
+	// Guard: maximal inline prefix of the body.
+	cc.guardEnd = len(cc.goals)
+	for i, k := range cc.kinds {
+		if k == gCall || k == gBuiltin {
+			cc.guardEnd = i
+			break
+		}
+	}
+	// Environment slots.
+	for _, v := range cc.order {
+		vi := cc.vars[v]
+		if vi.perm {
+			vi.y = cc.nY
+			if cc.query != nil && v[0] != '_' {
+				cc.query[v] = cc.nY
+			}
+			cc.nY++
+		}
+	}
+	cc.cutSlot = -1
+	for i, k := range cc.kinds {
+		if k == gCut && i > cc.firstCall {
+			cc.cutSlot = cc.nY
+			cc.nY++
+			break
+		}
+	}
+	// Environment requirement. The call/1 escape transfers control
+	// like a call and overwrites the continuation register, so it
+	// needs the environment to restore CP afterwards.
+	numCalls := 0
+	lastIsCall := false
+	for i, k := range cc.kinds {
+		if k == gCall {
+			numCalls++
+			lastIsCall = i == cc.lastRealGoal()
+		}
+		if k == gBuiltin {
+			if pi, _ := term.TermIndicator(cc.goals[i]); pi == term.Ind("call", 1) {
+				numCalls++
+				lastIsCall = false
+			}
+		}
+	}
+	cc.needEnv = cc.nY > 0 || numCalls > 1 || (numCalls == 1 && !lastIsCall)
+	if cc.query != nil {
+		cc.needEnv = true
+	}
+	if cc.nY > 250 {
+		return cc.errf("too many permanent variables (%d)", cc.nY)
+	}
+	// Safe temporary zone: above every argument register in use.
+	max := cc.pi.Arity
+	for _, g := range cc.goals {
+		if pi, ok := term.TermIndicator(g); ok && pi.Arity > max {
+			k, _ := classifyGoal(g)
+			if k == gCall || k == gBuiltin {
+				max = pi.Arity
+			}
+		}
+	}
+	cc.safeBase = max + 1
+	cc.tempNext = cc.safeBase
+	return nil
+}
+
+func (cc *clauseComp) lastRealGoal() int {
+	last := -1
+	for i, k := range cc.kinds {
+		if k != gTrue {
+			last = i
+		}
+	}
+	return last
+}
+
+// compileClause generates the code of one clause. The predicate-level
+// compiler wraps it with try/retry/trust chains and switches.
+func (c *Compiler) compileClause(pi term.Indicator, cl clause, multi bool, query map[term.Var]int) ([]kcmisa.Instr, error) {
+	cc := &clauseComp{
+		c: c, pi: pi, multi: multi, query: query,
+		goals: cl.goals, vars: map[term.Var]*vinfo{},
+	}
+	if err := cc.analyze(cl.head); err != nil {
+		return nil, err
+	}
+
+	// Head.
+	if cmp, ok := cl.head.(*term.Compound); ok {
+		if err := cc.emitGets(cmp.Args); err != nil {
+			return nil, err
+		}
+	}
+	// Guard.
+	last := cc.lastRealGoal()
+	for i := 0; i < cc.guardEnd; i++ {
+		stop, err := cc.emitGoal(i, i == last)
+		if err != nil {
+			return nil, err
+		}
+		if stop {
+			return cc.code, nil
+		}
+	}
+	// Neck: materialise the delayed choice point if alternatives remain.
+	if cc.multi {
+		cc.emit(kcmisa.Instr{Op: kcmisa.Neck, N: pi.Arity})
+	}
+	// Environment.
+	if cc.needEnv {
+		cc.emit(kcmisa.Instr{Op: kcmisa.Allocate, N: cc.nY})
+		cc.allocated = true
+		if cc.cutSlot >= 0 {
+			cc.emit(kcmisa.Instr{Op: kcmisa.SaveB0, N: cc.cutSlot})
+		}
+		for _, pm := range cc.pending {
+			cc.emit(kcmisa.Instr{Op: kcmisa.MoveXY, R1: kcmisa.Reg(pm.x), N: pm.y})
+		}
+		cc.pending = nil
+	}
+	// Body.
+	done := false
+	for i := cc.guardEnd; i < len(cc.goals); i++ {
+		stop, err := cc.emitGoal(i, i == last)
+		if err != nil {
+			return nil, err
+		}
+		if stop {
+			done = true
+			break
+		}
+	}
+	if !done {
+		if cc.query != nil {
+			cc.emit(kcmisa.Instr{Op: kcmisa.Halt})
+		} else {
+			if cc.needEnv {
+				cc.emit(kcmisa.Instr{Op: kcmisa.Deallocate})
+			}
+			cc.emit(kcmisa.Instr{Op: kcmisa.Proceed})
+		}
+	}
+	return cc.code, nil
+}
+
+// emitGoal compiles one goal; stop=true when the goal transfers
+// control unconditionally (Execute, Fail), ending the clause.
+func (cc *clauseComp) emitGoal(i int, isLast bool) (stop bool, err error) {
+	g := cc.goals[i]
+	switch cc.kinds[i] {
+	case gTrue:
+		return false, nil
+	case gFail:
+		cc.emit(kcmisa.Instr{Op: kcmisa.Fail, Mark: true})
+		return true, nil
+	case gCut:
+		if i > cc.firstCall {
+			cc.emit(kcmisa.Instr{Op: kcmisa.CutY, N: cc.cutSlot})
+		} else {
+			cc.emit(kcmisa.Instr{Op: kcmisa.Cut})
+		}
+		return false, nil
+	case gInline:
+		// The final instruction of the inline sequence carries the
+		// inference mark: each source-level goal counts one logical
+		// inference under the paper's Klips definition.
+		before := len(cc.code)
+		if err := cc.emitInline(g); err != nil {
+			return false, err
+		}
+		if len(cc.code) == before {
+			cc.emit(kcmisa.Instr{Op: kcmisa.Noop, Mark: true})
+		} else {
+			cc.code[len(cc.code)-1].Mark = true
+		}
+		return false, nil
+	case gBuiltin:
+		pi, _ := term.TermIndicator(g)
+		if err := cc.emitPuts(goalArgs(g), false); err != nil {
+			return false, err
+		}
+		cc.emit(kcmisa.Instr{Op: kcmisa.Builtin, N: kcmisa.BuiltinByName[pi]})
+		cc.resetTemps()
+		return false, nil
+	case gCall:
+		pi, _ := term.TermIndicator(g)
+		lastCall := isLast && cc.query == nil
+		if err := cc.emitPuts(goalArgs(g), lastCall); err != nil {
+			return false, err
+		}
+		if lastCall {
+			if cc.needEnv {
+				cc.emit(kcmisa.Instr{Op: kcmisa.Deallocate})
+			}
+			cc.emit(kcmisa.Instr{Op: kcmisa.Execute, Proc: pi, L: kcmisa.FailLabel})
+			return true, nil
+		}
+		cc.emit(kcmisa.Instr{Op: kcmisa.Call, Proc: pi, L: kcmisa.FailLabel})
+		cc.resetTemps()
+		return false, nil
+	}
+	return false, cc.errf("unhandled goal %v", g)
+}
+
+func goalArgs(g term.Term) []term.Term {
+	if c, ok := g.(*term.Compound); ok {
+		return c.Args
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+// Package compiler translates Prolog clauses into KCM instructions.
+//
+// The translation follows the WAM with the KCM specialisations
+// described in the paper:
+//
+//   - argument registers stay intact through head and guard, so the
+//     delayed choice-point scheme (shallow backtracking) can restore a
+//     clause's entry state from three shadow registers;
+//   - every clause of a multi-clause predicate carries a Neck
+//     instruction at the end of its guard, where the real choice point
+//     is materialised if alternatives remain;
+//   - environments are allocated after the neck, which keeps the head
+//     and guard free of local-stack writes;
+//   - first-argument indexing uses switch_on_term plus hashed
+//     constant/structure switches, dispatched by the MWAC.
+package compiler
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// Pred is the compiled code of one predicate. Labels inside Code are
+// instruction indices local to the predicate; the assembler rebases
+// them to absolute code-space addresses.
+type Pred struct {
+	PI      term.Indicator
+	Code    []kcmisa.Instr
+	Clauses int
+}
+
+// Module is a compiled compilation unit.
+type Module struct {
+	Preds map[term.Indicator]*Pred
+	Order []term.Indicator
+	Syms  *term.SymTab
+	// QueryVars maps each named variable of the compiled query to the
+	// environment slot holding it when the machine halts.
+	QueryVars map[term.Var]int
+}
+
+// QueryPI is the entry predicate created by CompileQuery.
+var QueryPI = term.Ind("$query", 0)
+
+// Compiler holds compilation state shared across clauses.
+type Compiler struct {
+	syms *term.SymTab
+	auxN int
+}
+
+// New creates a compiler interning into syms.
+func New(syms *term.SymTab) *Compiler {
+	if syms == nil {
+		syms = term.NewSymTab()
+	}
+	return &Compiler{syms: syms}
+}
+
+// Syms returns the compiler's symbol table.
+func (c *Compiler) Syms() *term.SymTab { return c.syms }
+
+// clause is a normalised clause: a head and a flat list of goals.
+type clause struct {
+	head  term.Term
+	goals []term.Term
+}
+
+// CompileProgram compiles a list of source clauses (facts and rules)
+// into a module. Directives (:- G) and queries (?- G) are rejected
+// here; use CompileQuery for the query.
+func (c *Compiler) CompileProgram(clauses []term.Term) (*Module, error) {
+	m := &Module{Preds: map[term.Indicator]*Pred{}, Syms: c.syms}
+	grouped := map[term.Indicator][]clause{}
+	var order []term.Indicator
+	add := func(cl clause) error {
+		pi, ok := term.TermIndicator(cl.head)
+		if !ok {
+			return fmt.Errorf("compiler: clause head %v is not callable", cl.head)
+		}
+		if _, seen := grouped[pi]; !seen {
+			order = append(order, pi)
+		}
+		grouped[pi] = append(grouped[pi], cl)
+		return nil
+	}
+	for _, t := range clauses {
+		head, body := splitClause(t)
+		if head == nil {
+			return nil, fmt.Errorf("compiler: %v is a directive, not a clause", t)
+		}
+		cls, aux, err := c.normalize(head, body)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(cls); err != nil {
+			return nil, err
+		}
+		for _, a := range aux {
+			if err := add(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, pi := range order {
+		p, err := c.compilePred(pi, grouped[pi], nil)
+		if err != nil {
+			return nil, err
+		}
+		m.Preds[pi] = p
+		m.Order = append(m.Order, pi)
+	}
+	return m, nil
+}
+
+// CompileQuery compiles ?- Goal into the $query/0 entry predicate and
+// adds it (plus any control auxiliaries) to the module. Named query
+// variables are forced into the environment so their bindings can be
+// read back when the machine halts.
+func (c *Compiler) CompileQuery(m *Module, goal term.Term) error {
+	cls, aux, err := c.normalize(term.Atom("$query"), goal)
+	if err != nil {
+		return err
+	}
+	grouped := map[term.Indicator][]clause{}
+	var order []term.Indicator
+	for _, a := range aux {
+		pi, _ := term.TermIndicator(a.head)
+		if _, seen := grouped[pi]; !seen {
+			order = append(order, pi)
+		}
+		grouped[pi] = append(grouped[pi], a)
+	}
+	for _, pi := range order {
+		p, err := c.compilePred(pi, grouped[pi], nil)
+		if err != nil {
+			return err
+		}
+		if _, dup := m.Preds[pi]; dup {
+			return fmt.Errorf("compiler: duplicate auxiliary %v", pi)
+		}
+		m.Preds[pi] = p
+		m.Order = append(m.Order, pi)
+	}
+	qv := map[term.Var]int{}
+	p, err := c.compilePred(QueryPI, []clause{cls}, qv)
+	if err != nil {
+		return err
+	}
+	m.Preds[QueryPI] = p
+	m.Order = append(m.Order, QueryPI)
+	m.QueryVars = qv
+	return nil
+}
+
+// splitClause separates H :- B from facts. A nil head means the term
+// was a directive (:- G or ?- G).
+func splitClause(t term.Term) (head, body term.Term) {
+	if c, ok := t.(*term.Compound); ok {
+		if c.Functor == ":-" && len(c.Args) == 2 {
+			return c.Args[0], c.Args[1]
+		}
+		if (c.Functor == ":-" || c.Functor == "?-") && len(c.Args) == 1 {
+			return nil, c.Args[0]
+		}
+	}
+	return t, term.Atom("true")
+}
+
+// normalize flattens the body into a goal list, rewriting control
+// constructs (;/2, ->/2, \+/1) into auxiliary predicates, which are
+// returned for separate compilation.
+func (c *Compiler) normalize(head, body term.Term) (clause, []clause, error) {
+	var aux []clause
+	var goals []term.Term
+	var walk func(t term.Term) error
+	walk = func(t term.Term) error {
+		cmp, ok := t.(*term.Compound)
+		if !ok {
+			goals = append(goals, t)
+			return nil
+		}
+		switch {
+		case cmp.Functor == "," && len(cmp.Args) == 2:
+			if err := walk(cmp.Args[0]); err != nil {
+				return err
+			}
+			return walk(cmp.Args[1])
+		case cmp.Functor == ";" && len(cmp.Args) == 2:
+			left, right := cmp.Args[0], cmp.Args[1]
+			if ite, ok := left.(*term.Compound); ok && ite.Functor == "->" && len(ite.Args) == 2 {
+				g, as, err := c.makeAux(t,
+					[]term.Term{ite.Args[0], term.Atom("!"), ite.Args[1]},
+					[]term.Term{right})
+				if err != nil {
+					return err
+				}
+				aux = append(aux, as...)
+				goals = append(goals, g)
+				return nil
+			}
+			g, as, err := c.makeAux(t, []term.Term{left}, []term.Term{right})
+			if err != nil {
+				return err
+			}
+			aux = append(aux, as...)
+			goals = append(goals, g)
+			return nil
+		case cmp.Functor == "->" && len(cmp.Args) == 2:
+			g, as, err := c.makeAux(t,
+				[]term.Term{cmp.Args[0], term.Atom("!"), cmp.Args[1]}, nil)
+			if err != nil {
+				return err
+			}
+			aux = append(aux, as...)
+			goals = append(goals, g)
+			return nil
+		case (cmp.Functor == "\\+" || cmp.Functor == "not") && len(cmp.Args) == 1:
+			g, as, err := c.makeAux(t,
+				[]term.Term{cmp.Args[0], term.Atom("!"), term.Atom("fail")},
+				[]term.Term{term.Atom("true")})
+			if err != nil {
+				return err
+			}
+			aux = append(aux, as...)
+			goals = append(goals, g)
+			return nil
+		default:
+			goals = append(goals, t)
+			return nil
+		}
+	}
+	if err := walk(body); err != nil {
+		return clause{}, nil, err
+	}
+	return clause{head: head, goals: goals}, aux, nil
+}
+
+// makeAux creates a fresh auxiliary predicate whose clauses are the
+// given alternative bodies, closed over the variables of src. It
+// returns the goal that calls it.
+func (c *Compiler) makeAux(src term.Term, alt1, alt2 []term.Term) (term.Term, []clause, error) {
+	vars := term.Vars(src, nil)
+	if len(vars) > 16 {
+		return nil, nil, fmt.Errorf("compiler: control construct closes over %d variables (max 16)", len(vars))
+	}
+	c.auxN++
+	name := term.Atom(fmt.Sprintf("$aux%d", c.auxN))
+	args := make([]term.Term, len(vars))
+	for i, v := range vars {
+		args[i] = v
+	}
+	head := term.New(name, args...)
+	var out []clause
+	mk := func(goals []term.Term) error {
+		cl, aux, err := c.normalize(head, conj(goals))
+		if err != nil {
+			return err
+		}
+		out = append(out, cl)
+		out = append(out, aux...)
+		return nil
+	}
+	if err := mk(alt1); err != nil {
+		return nil, nil, err
+	}
+	if alt2 != nil {
+		if err := mk(alt2); err != nil {
+			return nil, nil, err
+		}
+	}
+	return head, out, nil
+}
+
+func conj(goals []term.Term) term.Term {
+	if len(goals) == 0 {
+		return term.Atom("true")
+	}
+	t := goals[len(goals)-1]
+	for i := len(goals) - 2; i >= 0; i-- {
+		t = term.New(",", goals[i], t)
+	}
+	return t
+}
+
+// constWord converts an atomic source term into its tagged word.
+func (c *Compiler) constWord(t term.Term) (word.Word, bool) {
+	switch x := t.(type) {
+	case term.Atom:
+		if x == term.NilAtom {
+			return word.Nil(), true
+		}
+		return word.FromAtom(c.syms.Intern(x)), true
+	case term.Int:
+		return word.FromInt(int32(x)), true
+	case term.Float:
+		return word.FromFloat(math.Float32bits(float32(x))), true
+	}
+	return 0, false
+}
+
+// functorWord builds the functor word for a compound term.
+func (c *Compiler) functorWord(f term.Atom, arity int) word.Word {
+	return word.Functor(c.syms.Intern(f), arity)
+}

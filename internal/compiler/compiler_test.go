@@ -1,0 +1,310 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kcmisa"
+	"repro/internal/reader"
+	"repro/internal/term"
+)
+
+func compileSrc(t *testing.T, src string) *Module {
+	t.Helper()
+	clauses, err := reader.ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(nil)
+	m, err := c.CompileProgram(clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func ops(code []kcmisa.Instr) []kcmisa.Op {
+	out := make([]kcmisa.Op, len(code))
+	for i, in := range code {
+		out[i] = in.Op
+	}
+	return out
+}
+
+func hasOp(code []kcmisa.Instr, op kcmisa.Op) bool {
+	for _, in := range code {
+		if in.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+func countOp(code []kcmisa.Instr, op kcmisa.Op) int {
+	n := 0
+	for _, in := range code {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFactCompilation(t *testing.T) {
+	m := compileSrc(t, "p(a, 42).\n")
+	code := m.Preds[term.Ind("p", 2)].Code
+	want := []kcmisa.Op{kcmisa.GetConst, kcmisa.GetConst, kcmisa.Proceed}
+	got := ops(code)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSingleClauseHasNoNeckOrChain(t *testing.T) {
+	m := compileSrc(t, "q(X) :- p(X).\np(_).\n")
+	code := m.Preds[term.Ind("q", 1)].Code
+	for _, op := range []kcmisa.Op{kcmisa.Neck, kcmisa.TryMeElse, kcmisa.Allocate} {
+		if hasOp(code, op) {
+			t.Errorf("single chain clause contains %v: %v", op, ops(code))
+		}
+	}
+	// Tail call through Execute (last-call optimisation).
+	if code[len(code)-1].Op != kcmisa.Execute {
+		t.Fatalf("expected execute, got %v", ops(code))
+	}
+}
+
+func TestMultiClauseNeckAndChain(t *testing.T) {
+	m := compileSrc(t, "p(_, a).\np(_, b).\n")
+	code := m.Preds[term.Ind("p", 2)].Code
+	if countOp(code, kcmisa.Neck) != 2 {
+		t.Fatalf("want a neck per clause: %v", ops(code))
+	}
+	if !hasOp(code, kcmisa.TryMeElse) || !hasOp(code, kcmisa.TrustMe) {
+		t.Fatalf("missing chain: %v", ops(code))
+	}
+	// Both clauses have a var first argument: no switch.
+	if hasOp(code, kcmisa.SwitchOnTerm) {
+		t.Fatalf("var-headed predicate must not switch: %v", ops(code))
+	}
+	// Chain instructions carry the arity for choice-point creation.
+	for _, in := range code {
+		if in.Op == kcmisa.TryMeElse && in.N != 2 {
+			t.Errorf("try_me_else arity %d", in.N)
+		}
+	}
+}
+
+func TestFirstArgIndexing(t *testing.T) {
+	m := compileSrc(t, `
+f(a, 1).
+f(b, 2).
+f([], 3).
+f([_|_], 4).
+f(g(_), 5).
+`)
+	code := m.Preds[term.Ind("f", 1+1)].Code
+	if code[0].Op != kcmisa.SwitchOnTerm {
+		t.Fatalf("expected switch_on_term first: %v", ops(code))
+	}
+	if !hasOp(code, kcmisa.SwitchOnConst) {
+		t.Fatalf("expected constant switch (a, b, []): %v", ops(code))
+	}
+	// One structure functor: direct dispatch, no struct table.
+	if hasOp(code, kcmisa.SwitchOnStruct) {
+		t.Fatalf("single functor should dispatch directly: %v", ops(code))
+	}
+}
+
+func TestVarClausesMergeIntoBuckets(t *testing.T) {
+	m := compileSrc(t, `
+d(x, 1).
+d(_, 0).
+`)
+	code := m.Preds[term.Ind("d", 2)].Code
+	if code[0].Op != kcmisa.SwitchOnTerm {
+		t.Fatalf("mixed predicate should still switch: %v", ops(code))
+	}
+	// The const bucket must include the var clause: a try block.
+	if !hasOp(code, kcmisa.Try) || !hasOp(code, kcmisa.Trust) {
+		t.Fatalf("expected out-of-line try block: %v", ops(code))
+	}
+}
+
+func TestGuardBeforeNeck(t *testing.T) {
+	m := compileSrc(t, `
+p(0, zero).
+p(N, pos) :- N > 0, q(N).
+q(_).
+`)
+	code := m.Preds[term.Ind("p", 2)].Code
+	// In the second clause, the comparison (guard) must appear before
+	// the neck, which must precede the call.
+	var cmpIdx, callIdx int
+	neckIdx := -1
+	for i, in := range code {
+		switch in.Op {
+		case kcmisa.CmpGt:
+			cmpIdx = i
+		case kcmisa.Neck:
+			neckIdx = i // the last neck is clause 2's
+		case kcmisa.Execute:
+			callIdx = i
+		}
+	}
+	if !(cmpIdx < neckIdx && neckIdx < callIdx) {
+		t.Fatalf("guard/neck/call order wrong: cmp=%d neck=%d call=%d\n%v",
+			cmpIdx, neckIdx, callIdx, ops(code))
+	}
+}
+
+func TestCutVariants(t *testing.T) {
+	// Guard cut uses the plain Cut instruction.
+	m := compileSrc(t, "p(X) :- X > 0, !, q.\np(_).\nq.\n")
+	code := m.Preds[term.Ind("p", 1)].Code
+	if !hasOp(code, kcmisa.Cut) || hasOp(code, kcmisa.CutY) {
+		t.Fatalf("guard cut must compile to Cut: %v", ops(code))
+	}
+	// A cut after a call needs the saved barrier.
+	m = compileSrc(t, "r(X) :- q(X), !, s.\nq(_).\ns.\n")
+	code = m.Preds[term.Ind("r", 1)].Code
+	if !hasOp(code, kcmisa.SaveB0) || !hasOp(code, kcmisa.CutY) {
+		t.Fatalf("deep cut must compile to SaveB0/CutY: %v", ops(code))
+	}
+}
+
+func TestInferenceMarks(t *testing.T) {
+	m := compileSrc(t, "p(X, Y) :- Y is X + 1, Y > 0, X == X.\n")
+	code := m.Preds[term.Ind("p", 2)].Code
+	marks := 0
+	for _, in := range code {
+		if in.Mark {
+			marks++
+		}
+	}
+	if marks != 3 { // is/2, >/2, ==/2
+		t.Fatalf("want 3 inference marks, got %d in %v", marks, ops(code))
+	}
+}
+
+func TestStaticListUsesUnifyList(t *testing.T) {
+	m := compileSrc(t, "l([1,2,3]).\n")
+	code := m.Preds[term.Ind("l", 1)].Code
+	if countOp(code, kcmisa.UnifyList) != 2 {
+		t.Fatalf("3-element list should chain 2 unify_list: %v", ops(code))
+	}
+	if countOp(code, kcmisa.GetList) != 1 {
+		t.Fatalf("spine should need a single get_list: %v", ops(code))
+	}
+	// Two instructions per cell plus get_list and the terminator.
+	if n := len(code); n != 1+3*2+1 { // get_list + (const+list|nil)*3 + proceed
+		t.Fatalf("list encoding has %d instrs: %v", n, ops(code))
+	}
+}
+
+func TestLastAltPeephole(t *testing.T) {
+	m := compileSrc(t, "app([], L, L).\napp([H|T], L, [H|R]) :- app(T, L, R).\n")
+	code := m.Preds[term.Ind("app", 3)].Code
+	// The recursive clause must unify T and R straight into A1/A3:
+	// no put_value moves left before execute.
+	if hasOp(code, kcmisa.PutValX) {
+		t.Fatalf("append should need no register moves: %v", ops(code))
+	}
+	var unifiesIntoArgs int
+	for _, in := range code {
+		if in.Op == kcmisa.UnifyVarX && (in.R1 == 1 || in.R1 == 3) {
+			unifiesIntoArgs++
+		}
+	}
+	if unifiesIntoArgs != 2 {
+		t.Fatalf("want T->A1 and R->A3 unifications, got %d: %v", unifiesIntoArgs, ops(code))
+	}
+}
+
+func TestControlConstructs(t *testing.T) {
+	m := compileSrc(t, "p(X) :- ( X > 0 -> q ; r ).\nq.\nr.\n")
+	found := false
+	for _, pi := range m.Order {
+		if strings.HasPrefix(string(pi.Name), "$aux") {
+			found = true
+			if m.Preds[pi].Clauses != 2 {
+				t.Fatalf("if-then-else aux has %d clauses", m.Preds[pi].Clauses)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no auxiliary predicate generated for ->/;")
+	}
+}
+
+func TestQueryCompilation(t *testing.T) {
+	clauses, _ := reader.ParseAll("p(1).\n")
+	c := New(nil)
+	m, err := c.CompileProgram(clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal, _ := reader.ParseTerm("p(X), Y is X + 1.")
+	if err := c.CompileQuery(m, goal); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.QueryVars) != 2 {
+		t.Fatalf("query vars %v", m.QueryVars)
+	}
+	code := m.Preds[QueryPI].Code
+	if code[len(code)-1].Op != kcmisa.Halt {
+		t.Fatalf("query must end in halt: %v", ops(code))
+	}
+	if hasOp(code, kcmisa.Deallocate) {
+		t.Fatalf("query must keep its environment for read-back: %v", ops(code))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"p :- X.\n",       // variable goal
+		"p :- 42.\n",      // integer goal
+		":- directive.\n", // directive where a clause is expected
+	}
+	for _, src := range bad {
+		clauses, err := reader.ParseAll(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := New(nil).CompileProgram(clauses); err == nil {
+			t.Errorf("%q: expected compile error", src)
+		}
+	}
+}
+
+func TestDeepStructureNesting(t *testing.T) {
+	m := compileSrc(t, "t(f(g(h(1)), [a, g(2)])).\n")
+	code := m.Preds[term.Ind("t", 1)].Code
+	if countOp(code, kcmisa.GetStruct) != 4 { // f/2, g/1, h/1, g/1
+		t.Fatalf("four get_structure expected: %v", ops(code))
+	}
+	// Nested structures unify via temporaries and a breadth-first queue.
+	if countOp(code, kcmisa.UnifyVarX) < 2 {
+		t.Fatalf("expected temporaries for nested terms: %v", ops(code))
+	}
+}
+
+func TestTempRecyclingLongList(t *testing.T) {
+	// A 40-element ground list in a goal argument must not exhaust the
+	// 64-register file (build temps are recycled).
+	var sb strings.Builder
+	sb.WriteString("p(_).\nmain :- p([")
+	for i := 0; i < 40; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("x")
+	}
+	sb.WriteString("]).\n")
+	compileSrc(t, sb.String()) // must not fail
+}

@@ -1,0 +1,227 @@
+package compiler
+
+import (
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// argClass classifies a clause's first head argument for indexing.
+type argClass int
+
+const (
+	acVar argClass = iota
+	acConst
+	acList
+	acStruct
+)
+
+func (c *Compiler) classifyFirstArg(head term.Term) (argClass, word.Word) {
+	cmp, ok := head.(*term.Compound)
+	if !ok || len(cmp.Args) == 0 {
+		return acVar, 0
+	}
+	switch x := cmp.Args[0].(type) {
+	case term.Var:
+		return acVar, 0
+	case term.Atom, term.Int, term.Float:
+		k, _ := c.constWord(x)
+		return acConst, k
+	case *term.Compound:
+		if x.Functor == term.DotAtom && len(x.Args) == 2 {
+			return acList, 0
+		}
+		return acStruct, c.functorWord(x.Functor, len(x.Args))
+	}
+	return acVar, 0
+}
+
+// compilePred compiles all clauses of one predicate, laying out the
+// try/retry/trust chain and, when every clause has a non-variable
+// first argument, a switch_on_term header with constant and structure
+// switch tables, as dispatched by the MWAC on the real machine.
+func (c *Compiler) compilePred(pi term.Indicator, clauses []clause, qvars map[term.Var]int) (*Pred, error) {
+	n := len(clauses)
+	multi := n > 1
+	codes := make([][]kcmisa.Instr, n)
+	for i, cl := range clauses {
+		code, err := c.compileClause(pi, cl, multi, qvars)
+		if err != nil {
+			return nil, err
+		}
+		if i == n-1 {
+			// The last alternative can never be shallowly retried, so
+			// its argument registers are dead after head unification.
+			code = peepholeLastAlt(code)
+		}
+		codes[i] = code
+	}
+	if !multi {
+		return &Pred{PI: pi, Code: codes[0], Clauses: 1}, nil
+	}
+
+	classes := make([]argClass, n)
+	keys := make([]word.Word, n)
+	allVar := true
+	for i, cl := range clauses {
+		classes[i], keys[i] = c.classifyFirstArg(cl.head)
+		if classes[i] != acVar {
+			allVar = false
+		}
+	}
+	// Indexing pays off whenever some clause discriminates on its
+	// first argument; variable-headed clauses are merged into every
+	// bucket (they match anything) and form the switch defaults.
+	indexed := pi.Arity >= 1 && !allVar
+
+	var out []kcmisa.Instr
+	if indexed {
+		out = append(out, kcmisa.Instr{Op: kcmisa.SwitchOnTerm, SwT: &kcmisa.TermSwitch{}})
+	}
+
+	// Chain + clause bodies.
+	chainIdx := make([]int, n)
+	clauseIdx := make([]int, n)
+	for i := range clauses {
+		chainIdx[i] = len(out)
+		switch {
+		case i == 0:
+			out = append(out, kcmisa.Instr{Op: kcmisa.TryMeElse, N: pi.Arity})
+		case i < n-1:
+			out = append(out, kcmisa.Instr{Op: kcmisa.RetryMeElse, N: pi.Arity})
+		default:
+			out = append(out, kcmisa.Instr{Op: kcmisa.TrustMe, N: pi.Arity})
+		}
+		clauseIdx[i] = len(out)
+		out = append(out, codes[i]...)
+	}
+	for i := 0; i < n-1; i++ {
+		out[chainIdx[i]].L = chainIdx[i+1]
+	}
+
+	if indexed {
+		// bucket builds a target label for an ordered candidate set:
+		// a direct entry for one clause, an out-of-line try block for
+		// several.
+		bucket := func(members []int) int {
+			if len(members) == 0 {
+				return kcmisa.FailLabel
+			}
+			if len(members) == 1 {
+				return clauseIdx[members[0]]
+			}
+			start := len(out)
+			for k, ci := range members {
+				op := kcmisa.Retry
+				if k == 0 {
+					op = kcmisa.Try
+				} else if k == len(members)-1 {
+					op = kcmisa.Trust
+				}
+				out = append(out, kcmisa.Instr{Op: op, L: clauseIdx[ci], N: pi.Arity})
+			}
+			return start
+		}
+		// group collects, per distinct key of a class, the ordered
+		// candidate set: clauses with that key merged with the
+		// variable-headed clauses (which match anything). varOnly is
+		// the default candidate set for a key missing from the table.
+		group := func(class argClass) (order []word.Word, members map[word.Word][]int, any bool) {
+			members = map[word.Word][]int{}
+			for i := range clauses {
+				switch classes[i] {
+				case class:
+					any = true
+					if _, seen := members[keys[i]]; !seen {
+						order = append(order, keys[i])
+					}
+				case acVar:
+				default:
+					continue
+				}
+				if classes[i] == acVar {
+					// append to every existing key and remember for
+					// keys discovered later via pending list below
+					continue
+				}
+				members[keys[i]] = append(members[keys[i]], i)
+			}
+			// Merge variable clauses into each bucket in clause order.
+			for _, k := range order {
+				merged := make([]int, 0, len(members[k])+2)
+				mi := 0
+				for i := range clauses {
+					if classes[i] == acVar {
+						merged = append(merged, i)
+					} else if mi < len(members[k]) && members[k][mi] == i {
+						merged = append(merged, i)
+						mi++
+					}
+				}
+				members[k] = merged
+			}
+			return
+		}
+		var varOnly []int
+		for i := range clauses {
+			if classes[i] == acVar {
+				varOnly = append(varOnly, i)
+			}
+		}
+		defBucket := -2
+		defaultBucket := func() int {
+			if defBucket == -2 {
+				defBucket = bucket(varOnly)
+			}
+			return defBucket
+		}
+
+		swFor := func(class argClass, op kcmisa.Op) int {
+			order, members, any := group(class)
+			if !any {
+				return defaultBucket()
+			}
+			if len(order) == 1 && len(varOnly) == 0 {
+				return bucket(members[order[0]])
+			}
+			sw := kcmisa.Instr{Op: op, L: kcmisa.FailLabel}
+			for _, k := range order {
+				sw.Sw = append(sw.Sw, kcmisa.SwEntry{Key: k, L: bucket(members[k])})
+			}
+			sw.L = defaultBucket() // missed key: variable clauses only
+			l := len(out)
+			out = append(out, sw)
+			return l
+		}
+
+		constL := swFor(acConst, kcmisa.SwitchOnConst)
+		listL := kcmisa.FailLabel
+		{
+			var listMembers []int
+			for i := range clauses {
+				if classes[i] == acList || classes[i] == acVar {
+					listMembers = append(listMembers, i)
+				}
+			}
+			hasList := false
+			for i := range clauses {
+				if classes[i] == acList {
+					hasList = true
+				}
+			}
+			if hasList {
+				listL = bucket(listMembers)
+			} else {
+				listL = defaultBucket()
+			}
+		}
+		structL := swFor(acStruct, kcmisa.SwitchOnStruct)
+		out[0].SwT = &kcmisa.TermSwitch{
+			Var:    chainIdx[0],
+			Const:  constL,
+			List:   listL,
+			Struct: structL,
+		}
+	}
+	return &Pred{PI: pi, Code: out, Clauses: n}, nil
+}

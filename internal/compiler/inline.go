@@ -1,0 +1,307 @@
+package compiler
+
+import (
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// readReg returns a register holding the current value of a variable,
+// emitting a move from its environment slot if necessary.
+func (cc *clauseComp) readReg(v term.Var) (kcmisa.Reg, error) {
+	vi := cc.info(v)
+	if vi.x >= 0 {
+		return kcmisa.Reg(vi.x), nil
+	}
+	if vi.perm && vi.init && cc.allocated {
+		r, err := cc.allocTemp()
+		if err != nil {
+			return 0, err
+		}
+		cc.emit(kcmisa.Instr{Op: kcmisa.MoveYX, R1: r, N: vi.y})
+		vi.x = int(r)
+		vi.owned = true
+		vi.fresh = false // may be (a reference to) a local cell
+		return r, nil
+	}
+	// Genuinely uninitialised: materialise a fresh heap variable so
+	// tests like var(X) on a first occurrence behave correctly.
+	r, err := cc.allocTemp()
+	if err != nil {
+		return 0, err
+	}
+	cc.emit(kcmisa.Instr{Op: kcmisa.PutVarX, R1: r, R2: r})
+	vi.x = int(r)
+	vi.init = true
+	vi.fresh = true
+	vi.owned = true
+	if vi.perm {
+		if cc.allocated {
+			cc.emit(kcmisa.Instr{Op: kcmisa.MoveXY, R1: r, N: vi.y})
+		} else {
+			cc.pending = append(cc.pending, pendMove{x: int(r), y: vi.y})
+		}
+	}
+	return r, nil
+}
+
+// materialize returns a register holding an arbitrary term, building
+// structures in write mode if needed. owned reports whether the
+// register is a scratch temp the caller may free.
+func (cc *clauseComp) materialize(t term.Term) (r kcmisa.Reg, owned bool, err error) {
+	switch x := t.(type) {
+	case term.Var:
+		r, err = cc.readReg(x)
+		return r, false, err
+	case term.Atom, term.Int, term.Float:
+		k, _ := cc.c.constWord(x)
+		r, err = cc.allocTemp()
+		if err != nil {
+			return 0, false, err
+		}
+		cc.emit(kcmisa.Instr{Op: kcmisa.LoadConst, R1: r, K: k})
+		return r, true, nil
+	case *term.Compound:
+		r, err = cc.emitBuild(x)
+		return r, true, err
+	}
+	return 0, false, cc.errf("cannot materialize %v", t)
+}
+
+// arithOps maps arithmetic functors to instruction opcodes. "/" is
+// integer division on KCM when both operands are integers; the
+// benchmark suite is compiled with integer arithmetic (section 4).
+var arithOps = map[term.Indicator]kcmisa.Op{
+	term.Ind("+", 2):   kcmisa.Add,
+	term.Ind("-", 2):   kcmisa.Sub,
+	term.Ind("*", 2):   kcmisa.Mul,
+	term.Ind("//", 2):  kcmisa.Div,
+	term.Ind("/", 2):   kcmisa.Div,
+	term.Ind("mod", 2): kcmisa.Mod,
+	term.Ind("rem", 2): kcmisa.Rem,
+	term.Ind("/\\", 2): kcmisa.Band,
+	term.Ind("\\/", 2): kcmisa.Bor,
+	term.Ind("xor", 2): kcmisa.Bxor,
+	term.Ind("<<", 2):  kcmisa.Shl,
+	term.Ind(">>", 2):  kcmisa.Shr,
+	term.Ind("min", 2): kcmisa.MinOp,
+	term.Ind("max", 2): kcmisa.MaxOp,
+}
+
+// evalExpr compiles the evaluation of an arithmetic expression and
+// returns the register receiving the result.
+func (cc *clauseComp) evalExpr(t term.Term) (r kcmisa.Reg, owned bool, err error) {
+	switch x := t.(type) {
+	case term.Var:
+		r, err = cc.readReg(x)
+		return r, false, err
+	case term.Int, term.Float:
+		k, _ := cc.c.constWord(x)
+		r, err = cc.allocTemp()
+		if err != nil {
+			return 0, false, err
+		}
+		cc.emit(kcmisa.Instr{Op: kcmisa.LoadConst, R1: r, K: k})
+		return r, true, nil
+	case *term.Compound:
+		pi, _ := term.TermIndicator(x)
+		if op, ok := arithOps[pi]; ok {
+			r1, o1, err := cc.evalExpr(x.Args[0])
+			if err != nil {
+				return 0, false, err
+			}
+			r2, o2, err := cc.evalExpr(x.Args[1])
+			if err != nil {
+				return 0, false, err
+			}
+			rd, err := cc.allocTemp()
+			if err != nil {
+				return 0, false, err
+			}
+			cc.emit(kcmisa.Instr{Op: op, R1: r1, R2: r2, R3: rd})
+			if o1 {
+				cc.freeTemp(r1)
+			}
+			if o2 {
+				cc.freeTemp(r2)
+			}
+			return rd, true, nil
+		}
+		if pi == term.Ind("-", 1) { // unary minus
+			r1, o1, err := cc.evalExpr(x.Args[0])
+			if err != nil {
+				return 0, false, err
+			}
+			rz, err := cc.allocTemp()
+			if err != nil {
+				return 0, false, err
+			}
+			cc.emit(kcmisa.Instr{Op: kcmisa.LoadConst, R1: rz, K: word.FromInt(0)})
+			rd, err := cc.allocTemp()
+			if err != nil {
+				return 0, false, err
+			}
+			cc.emit(kcmisa.Instr{Op: kcmisa.Sub, R1: rz, R2: r1, R3: rd})
+			cc.freeTemp(rz)
+			if o1 {
+				cc.freeTemp(r1)
+			}
+			return rd, true, nil
+		}
+		if pi == term.Ind("+", 1) {
+			return cc.evalExpr(x.Args[0])
+		}
+		if pi == term.Ind("abs", 1) {
+			r1, o1, err := cc.evalExpr(x.Args[0])
+			if err != nil {
+				return 0, false, err
+			}
+			rd, err := cc.allocTemp()
+			if err != nil {
+				return 0, false, err
+			}
+			cc.emit(kcmisa.Instr{Op: kcmisa.Abs, R1: r1, R3: rd})
+			if o1 {
+				cc.freeTemp(r1)
+			}
+			return rd, true, nil
+		}
+	}
+	return 0, false, cc.errf("non-arithmetic expression %v", t)
+}
+
+// emitInline compiles one inline goal.
+func (cc *clauseComp) emitInline(g term.Term) error {
+	pi, _ := term.TermIndicator(g)
+	args := goalArgs(g)
+	switch pi {
+	case term.Ind("is", 2):
+		r, owned, err := cc.evalExpr(args[1])
+		if err != nil {
+			return err
+		}
+		return cc.bindResult(args[0], r, owned)
+	case term.Ind("<", 2), term.Ind(">", 2), term.Ind("=<", 2),
+		term.Ind(">=", 2), term.Ind("=:=", 2), term.Ind("=\\=", 2):
+		r1, o1, err := cc.evalExpr(args[0])
+		if err != nil {
+			return err
+		}
+		r2, o2, err := cc.evalExpr(args[1])
+		if err != nil {
+			return err
+		}
+		op := map[term.Indicator]kcmisa.Op{
+			term.Ind("<", 2): kcmisa.CmpLt, term.Ind(">", 2): kcmisa.CmpGt,
+			term.Ind("=<", 2): kcmisa.CmpLe, term.Ind(">=", 2): kcmisa.CmpGe,
+			term.Ind("=:=", 2): kcmisa.CmpEq, term.Ind("=\\=", 2): kcmisa.CmpNe,
+		}[pi]
+		cc.emit(kcmisa.Instr{Op: op, R1: r1, R2: r2})
+		if o1 {
+			cc.freeTemp(r1)
+		}
+		if o2 {
+			cc.freeTemp(r2)
+		}
+		return nil
+	case term.Ind("var", 1), term.Ind("nonvar", 1), term.Ind("atom", 1),
+		term.Ind("integer", 1), term.Ind("atomic", 1):
+		r, owned, err := cc.materialize(args[0])
+		if err != nil {
+			return err
+		}
+		op := map[term.Indicator]kcmisa.Op{
+			term.Ind("var", 1): kcmisa.TestVar, term.Ind("nonvar", 1): kcmisa.TestNonvar,
+			term.Ind("atom", 1): kcmisa.TestAtom, term.Ind("integer", 1): kcmisa.TestInteger,
+			term.Ind("atomic", 1): kcmisa.TestAtomic,
+		}[pi]
+		cc.emit(kcmisa.Instr{Op: op, R1: r})
+		if owned {
+			cc.freeTemp(r)
+		}
+		return nil
+	case term.Ind("==", 2), term.Ind("\\==", 2):
+		r1, o1, err := cc.materialize(args[0])
+		if err != nil {
+			return err
+		}
+		r2, o2, err := cc.materialize(args[1])
+		if err != nil {
+			return err
+		}
+		op := kcmisa.IdentEq
+		if pi.Name == "\\==" {
+			op = kcmisa.IdentNe
+		}
+		cc.emit(kcmisa.Instr{Op: op, R1: r1, R2: r2})
+		if o1 {
+			cc.freeTemp(r1)
+		}
+		if o2 {
+			cc.freeTemp(r2)
+		}
+		return nil
+	case term.Ind("=", 2):
+		r1, o1, err := cc.materialize(args[0])
+		if err != nil {
+			return err
+		}
+		r2, o2, err := cc.materialize(args[1])
+		if err != nil {
+			return err
+		}
+		cc.emit(kcmisa.Instr{Op: kcmisa.UnifyRegs, R1: r1, R2: r2})
+		if o1 {
+			cc.freeTemp(r1)
+		}
+		if o2 {
+			cc.freeTemp(r2)
+		}
+		return nil
+	}
+	return cc.errf("unhandled inline goal %v", g)
+}
+
+// bindResult stores an is/2 result into the target variable.
+func (cc *clauseComp) bindResult(t term.Term, r kcmisa.Reg, owned bool) error {
+	v, isVar := t.(term.Var)
+	if !isVar {
+		// e.g. 0 is X mod Y: unify the result with a constant.
+		rc, oc, err := cc.materialize(t)
+		if err != nil {
+			return err
+		}
+		cc.emit(kcmisa.Instr{Op: kcmisa.UnifyRegs, R1: rc, R2: r})
+		if oc {
+			cc.freeTemp(rc)
+		}
+		if owned {
+			cc.freeTemp(r)
+		}
+		return nil
+	}
+	vi := cc.info(v)
+	if !vi.init {
+		vi.x = int(r)
+		vi.init = true
+		vi.fresh = true
+		vi.owned = owned
+		if vi.perm {
+			if cc.allocated {
+				cc.emit(kcmisa.Instr{Op: kcmisa.MoveXY, R1: r, N: vi.y})
+			} else {
+				cc.pending = append(cc.pending, pendMove{x: int(r), y: vi.y})
+			}
+		}
+		return nil
+	}
+	rv, err := cc.readReg(v)
+	if err != nil {
+		return err
+	}
+	cc.emit(kcmisa.Instr{Op: kcmisa.UnifyRegs, R1: rv, R2: r})
+	if owned {
+		cc.freeTemp(r)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package compiler
+
+import "repro/internal/kcmisa"
+
+// peepholeLastAlt optimises the code of a clause that can never be
+// retried (the textually last alternative, or a single clause): its
+// argument registers are dead after head unification, so a head
+// variable that is only moved into an argument register later can be
+// unified straight into it. This is the standard WAM allocation for
+// e.g. append/3, where the recursive call's arguments come directly
+// out of unify_variable; the non-last alternatives cannot do it
+// because a shallow retry needs A1..An intact.
+//
+// Pattern: UnifyVarX/GetVarX Xs ... PutValX Xs, At  ==>  def At,
+// provided nothing between defines or uses At, nothing else uses Xs,
+// and no control transfer or call intervenes.
+func peepholeLastAlt(code []kcmisa.Instr) []kcmisa.Instr {
+
+again:
+	for i := range code {
+		in := code[i]
+		if in.Op != kcmisa.PutValX {
+			continue
+		}
+		src, dst := in.R1, in.R2
+		def := -1
+		for j := i - 1; j >= 0; j-- {
+			d := code[j]
+			if barrier(d) {
+				break
+			}
+			if regDefs(d, src) {
+				if d.Op == kcmisa.UnifyVarX || d.Op == kcmisa.GetVarX || d.Op == kcmisa.PutVarX {
+					def = j
+				}
+				break
+			}
+			if regUses(d, src) || regUses(d, dst) || regDefs(d, dst) {
+				break
+			}
+		}
+		if def < 0 {
+			continue
+		}
+		// src must be dead after the move.
+		for j := i + 1; j < len(code); j++ {
+			if regUses(code[j], src) {
+				def = -1
+				break
+			}
+			if regDefs(code[j], src) {
+				break
+			}
+		}
+		if def < 0 {
+			continue
+		}
+		if code[def].Op == kcmisa.PutVarX && code[def].R2 == src {
+			code[def].R2 = dst
+		}
+		code[def].R1 = dst
+		code = append(code[:i], code[i+1:]...)
+		goto again
+	}
+	return code
+}
+
+// barrier reports whether an instruction invalidates register
+// tracking (calls, escapes, control transfers, alternatives).
+func barrier(in kcmisa.Instr) bool {
+	switch in.Op {
+	case kcmisa.Call, kcmisa.Execute, kcmisa.Builtin, kcmisa.Proceed,
+		kcmisa.Jump, kcmisa.Fail, kcmisa.SwitchOnTerm, kcmisa.SwitchOnConst,
+		kcmisa.SwitchOnStruct, kcmisa.Try, kcmisa.Retry, kcmisa.Trust,
+		kcmisa.TryMeElse, kcmisa.RetryMeElse, kcmisa.TrustMe,
+		kcmisa.Halt, kcmisa.HaltFail:
+		return true
+	}
+	return false
+}
+
+// regDefs reports whether the instruction writes register r.
+// Neck is treated as defining nothing: in a last alternative it never
+// materialises a choice point (the shallow flag is always clear).
+func regDefs(in kcmisa.Instr, r kcmisa.Reg) bool {
+	switch in.Op {
+	case kcmisa.GetVarX, kcmisa.UnifyVarX, kcmisa.MoveYX, kcmisa.LoadConst:
+		return in.R1 == r
+	case kcmisa.UnifyLocX:
+		return in.R1 == r // may be rewritten by globalisation
+	case kcmisa.PutVarX:
+		return in.R1 == r || in.R2 == r
+	case kcmisa.PutValX, kcmisa.PutValY, kcmisa.PutUnsafeY, kcmisa.PutConst,
+		kcmisa.PutNil, kcmisa.PutList, kcmisa.PutStruct:
+		return in.R2 == r
+	case kcmisa.Add, kcmisa.Sub, kcmisa.Mul, kcmisa.Div, kcmisa.Mod:
+		return in.R3 == r
+	}
+	return false
+}
+
+// regUses reports whether the instruction reads register r.
+func regUses(in kcmisa.Instr, r kcmisa.Reg) bool {
+	switch in.Op {
+	case kcmisa.GetVarX:
+		return in.R2 == r
+	case kcmisa.PutValX:
+		return in.R1 == r
+	case kcmisa.GetValX:
+		return in.R1 == r || in.R2 == r
+	case kcmisa.GetConst, kcmisa.GetNil, kcmisa.GetList, kcmisa.GetStruct:
+		return in.R2 == r
+	case kcmisa.UnifyValX, kcmisa.UnifyLocX, kcmisa.MoveXY, kcmisa.TestVar,
+		kcmisa.TestNonvar, kcmisa.TestAtom, kcmisa.TestInteger, kcmisa.TestAtomic:
+		return in.R1 == r
+	case kcmisa.Add, kcmisa.Sub, kcmisa.Mul, kcmisa.Div, kcmisa.Mod,
+		kcmisa.CmpLt, kcmisa.CmpLe, kcmisa.CmpGt, kcmisa.CmpGe,
+		kcmisa.CmpEq, kcmisa.CmpNe, kcmisa.IdentEq, kcmisa.IdentNe,
+		kcmisa.UnifyRegs:
+		return in.R1 == r || in.R2 == r
+	}
+	return false
+}

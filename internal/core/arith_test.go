@@ -1,0 +1,28 @@
+package core
+
+import "testing"
+
+// TestExtendedArithmetic covers the SEPIA-level arithmetic repertoire
+// beyond the benchmark suite's needs: bit operations, rem vs mod,
+// abs, min and max.
+func TestExtendedArithmetic(t *testing.T) {
+	cases := []struct{ q, v, want string }{
+		{"X is 12 /\\ 10.", "X", "8"},
+		{"X is 12 \\/ 10.", "X", "14"},
+		{"X is 12 xor 10.", "X", "6"},
+		{"X is 1 << 10.", "X", "1024"},
+		{"X is 1024 >> 3.", "X", "128"},
+		{"X is -7 mod 3.", "X", "2"},  // ISO: sign of the divisor
+		{"X is -7 rem 3.", "X", "-1"}, // rem: sign of the dividend
+		{"X is 7 mod -3.", "X", "-2"},
+		{"X is abs(-42).", "X", "42"},
+		{"X is abs(42).", "X", "42"},
+		{"X is min(3, 9).", "X", "3"},
+		{"X is max(3, 9).", "X", "9"},
+		{"X is min(-2, -8) + max(1, 0).", "X", "-7"},
+		{"X is abs(min(-3, 2)) << 2.", "X", "12"},
+	}
+	for _, c := range cases {
+		expectBinding(t, "ok.\n", c.q, c.v, c.want)
+	}
+}

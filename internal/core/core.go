@@ -1,0 +1,124 @@
+// Package core is the public face of the KCM reproduction: it wires
+// the reader, compiler, assembler and machine together into the
+// "complete language sub-system running on KCM" of the paper. A
+// Program holds consulted source clauses; Query compiles a goal
+// against them, links an image, boots a machine and runs it.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/machine"
+	"repro/internal/reader"
+	"repro/internal/term"
+)
+
+// Program is a consulted Prolog program ready to be queried.
+type Program struct {
+	clauses []term.Term
+	syms    *term.SymTab
+}
+
+// Load parses Prolog source text into a Program.
+func Load(src string) (*Program, error) {
+	clauses, err := reader.ParseAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Program{clauses: clauses, syms: term.NewSymTab()}, nil
+}
+
+// MustLoad is Load for tests and examples with known-good sources.
+func MustLoad(src string) *Program {
+	p, err := Load(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Consult appends more source text to the program.
+func (p *Program) Consult(src string) error {
+	clauses, err := reader.ParseAll(src)
+	if err != nil {
+		return err
+	}
+	p.clauses = append(p.clauses, clauses...)
+	return nil
+}
+
+// Clauses returns the consulted clauses (reader output).
+func (p *Program) Clauses() []term.Term { return p.clauses }
+
+// Syms exposes the symbol table shared by compilation runs.
+func (p *Program) Syms() *term.SymTab { return p.syms }
+
+// CompileQuery compiles the program together with a query goal and
+// links the result into a loadable image.
+func (p *Program) CompileQuery(query string) (*asm.Image, error) {
+	goal, err := reader.ParseTerm(query)
+	if err != nil {
+		return nil, fmt.Errorf("core: query: %w", err)
+	}
+	c := compiler.New(p.syms)
+	mod, err := c.CompileProgram(p.clauses)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.CompileQuery(mod, goal); err != nil {
+		return nil, err
+	}
+	return asm.Link(mod)
+}
+
+// Solution is the outcome of running a query on the machine.
+type Solution struct {
+	Success  bool
+	Bindings map[term.Var]term.Term
+	Result   machine.Result
+}
+
+// Binding returns the value of a named query variable.
+func (s *Solution) Binding(name string) (term.Term, bool) {
+	t, ok := s.Bindings[term.Var(name)]
+	return t, ok
+}
+
+// Query runs a goal against the program on a default-configuration
+// KCM and returns the first solution.
+func (p *Program) Query(query string) (*Solution, error) {
+	return p.QueryConfig(query, machine.Config{})
+}
+
+// QueryWriter runs a goal sending write/1 output to w.
+func (p *Program) QueryWriter(query string, w io.Writer) (*Solution, error) {
+	return p.QueryConfig(query, machine.Config{Out: w})
+}
+
+// QueryConfig runs a goal with an explicit machine configuration.
+func (p *Program) QueryConfig(query string, cfg machine.Config) (*Solution, error) {
+	im, err := p.CompileQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(im, cfg)
+	if err != nil {
+		return nil, err
+	}
+	entry, ok := im.Entry(compiler.QueryPI)
+	if !ok {
+		return nil, fmt.Errorf("core: no query entry point")
+	}
+	res, err := m.Run(entry)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Success: res.Success, Result: res}
+	if res.Success {
+		sol.Bindings = m.QueryBindings(im.QueryVars)
+	}
+	return sol, nil
+}

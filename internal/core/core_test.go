@@ -1,0 +1,250 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectBinding runs a query and checks one variable's binding.
+func expectBinding(t *testing.T, src, query, v, want string) {
+	t.Helper()
+	p := MustLoad(src)
+	sol, err := p.Query(query)
+	if err != nil {
+		t.Fatalf("query %q: %v", query, err)
+	}
+	if !sol.Success {
+		t.Fatalf("query %q failed", query)
+	}
+	if v == "" {
+		return // success-only check
+	}
+	got, ok := sol.Binding(v)
+	if !ok {
+		t.Fatalf("query %q: no binding for %s", query, v)
+	}
+	if got.String() != want {
+		t.Fatalf("query %q: %s = %s, want %s", query, v, got, want)
+	}
+}
+
+func expectFail(t *testing.T, src, query string) {
+	t.Helper()
+	p := MustLoad(src)
+	sol, err := p.Query(query)
+	if err != nil {
+		t.Fatalf("query %q: %v", query, err)
+	}
+	if sol.Success {
+		t.Fatalf("query %q succeeded, want failure", query)
+	}
+}
+
+const appendSrc = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+`
+
+func TestAppend(t *testing.T) {
+	expectBinding(t, appendSrc, "app([1,2,3], [4,5], X).", "X", "[1,2,3,4,5]")
+	expectBinding(t, appendSrc, "app([], [], X).", "X", "[]")
+	expectBinding(t, appendSrc, "app([a], Y, [a,b,c]).", "Y", "[b,c]")
+	expectFail(t, appendSrc, "app([1], [2], [3]).")
+}
+
+func TestAppendBacktracking(t *testing.T) {
+	// app(X, Y, [1,2]) has three solutions; first is X=[].
+	expectBinding(t, appendSrc, "app(X, Y, [1,2]).", "X", "[]")
+	expectBinding(t, appendSrc, "app(X, Y, [1,2]).", "Y", "[1,2]")
+	// Force backtracking past the first two solutions.
+	expectBinding(t, appendSrc, "app(X, Y, [1,2]), X = [1|_].", "Y", "[2]")
+	expectBinding(t, appendSrc, "app(X, [], [1,2]).", "X", "[1,2]")
+}
+
+func TestNaiveReverse(t *testing.T) {
+	src := appendSrc + `
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+`
+	expectBinding(t, src, "nrev([1,2,3,4,5], X).", "X", "[5,4,3,2,1]")
+	expectBinding(t, src, "nrev([], X).", "X", "[]")
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+double(X, Y) :- Y is X * 2.
+sumsq(A, B, C) :- C is A*A + B*B.
+fact(0, 1).
+fact(N, F) :- N > 0, M is N - 1, fact(M, G), F is N * G.
+`
+	expectBinding(t, src, "double(21, X).", "X", "42")
+	expectBinding(t, src, "sumsq(3, 4, X).", "X", "25")
+	expectBinding(t, src, "fact(10, X).", "X", "3628800")
+	expectBinding(t, src, "X is 7 // 2.", "X", "3")
+	expectBinding(t, src, "X is 7 mod 2.", "X", "1")
+	expectBinding(t, src, "X is -3 + 10.", "X", "7")
+	expectFail(t, src, "1 > 2.")
+	expectFail(t, src, "3 =:= 4.")
+	expectBinding(t, src, "X = 5, X < 6, Y is X + 1.", "Y", "6")
+}
+
+func TestCut(t *testing.T) {
+	src := `
+max(X, Y, X) :- X >= Y, !.
+max(_, Y, Y).
+
+classify(N, neg) :- N < 0, !.
+classify(0, zero) :- !.
+classify(_, pos).
+
+once_member(X, [X|_]) :- !.
+once_member(X, [_|T]) :- once_member(X, T).
+`
+	expectBinding(t, src, "max(3, 7, X).", "X", "7")
+	expectBinding(t, src, "max(9, 2, X).", "X", "9")
+	expectBinding(t, src, "classify(-5, X).", "X", "neg")
+	expectBinding(t, src, "classify(0, X).", "X", "zero")
+	expectBinding(t, src, "classify(3, X).", "X", "pos")
+	// Cut prevents the second clause from producing another solution.
+	expectFail(t, src, "max(5, 3, X), X = 3.")
+	expectBinding(t, src, "once_member(b, [a,b,c]).", "", "")
+}
+
+func TestDeepCut(t *testing.T) {
+	src := `
+p(1). p(2). p(3).
+firstp(X) :- p(X), !.
+q(X) :- p(X), X > 1, !.
+`
+	expectBinding(t, src, "firstp(X).", "X", "1")
+	expectBinding(t, src, "q(X).", "X", "2")
+	expectFail(t, src, "q(X), X = 3.")
+}
+
+func TestDisjunctionIfThenElse(t *testing.T) {
+	src := `
+sign(N, S) :- ( N > 0 -> S = pos ; N < 0 -> S = neg ; S = zero ).
+either(X) :- ( X = a ; X = b ).
+`
+	expectBinding(t, src, "sign(5, S).", "S", "pos")
+	expectBinding(t, src, "sign(-5, S).", "S", "neg")
+	expectBinding(t, src, "sign(0, S).", "S", "zero")
+	expectBinding(t, src, "either(X).", "X", "a")
+	expectBinding(t, src, "either(X), X \\== a.", "X", "b")
+}
+
+func TestNegation(t *testing.T) {
+	src := `
+p(1). p(2).
+notp(X) :- \+ p(X).
+`
+	expectBinding(t, src, "notp(3).", "", "")
+	expectFail(t, src, "notp(1).")
+}
+
+func TestStructures(t *testing.T) {
+	src := `
+d(U+V, X, DU+DV) :- d(U, X, DU), d(V, X, DV).
+d(U*V, X, DU*V + U*DV) :- d(U, X, DU), d(V, X, DV).
+d(X, X, 1).
+d(C, X, 0) :- atomic(C), C \== X.
+`
+	expectBinding(t, src, "d(x + 3, x, D).", "D", "1+0")
+	expectBinding(t, src, "d(x * x, x, D).", "D", "1*x+x*1")
+}
+
+func TestTypeTests(t *testing.T) {
+	src := "ok.\n"
+	expectBinding(t, src, "var(X), X = 1.", "X", "1")
+	expectFail(t, src, "X = 1, var(X).")
+	expectBinding(t, src, "atom(foo), integer(42), atomic([]).", "", "")
+	expectFail(t, src, "atom(42).")
+	expectFail(t, src, "integer(foo).")
+	expectBinding(t, src, "X = f(1), nonvar(X).", "X", "f(1)")
+}
+
+func TestIdentity(t *testing.T) {
+	src := "ok.\n"
+	expectBinding(t, src, "X = f(A, B), Y = f(A, B), X == Y.", "", "")
+	expectFail(t, src, "f(A) == f(B).")
+	expectBinding(t, src, "f(A) \\== f(B).", "", "")
+	expectFail(t, src, "X == Y.")
+}
+
+func TestUnifyGoal(t *testing.T) {
+	src := "ok.\n"
+	expectBinding(t, src, "X = point(1, 2).", "X", "point(1,2)")
+	expectBinding(t, src, "f(X, 2) = f(1, Y).", "X", "1")
+	expectBinding(t, src, "f(X, 2) = f(1, Y).", "Y", "2")
+	expectFail(t, src, "f(1) = g(1).")
+	expectFail(t, src, "f(1) = f(1, 2).")
+}
+
+func TestWriteOutput(t *testing.T) {
+	src := appendSrc
+	p := MustLoad(src)
+	var buf strings.Builder
+	sol, err := p.QueryWriter("app([1,2], [3], X), write(X), nl.", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Success {
+		t.Fatal("query failed")
+	}
+	if got := buf.String(); got != "[1,2,3]\n" {
+		t.Fatalf("output = %q, want %q", got, "[1,2,3]\n")
+	}
+}
+
+func TestLastCallOptimisationDepth(t *testing.T) {
+	// A deterministic loop must run in constant local/choice space:
+	// 100k iterations would overflow the stacks without LCO.
+	src := `
+loop(0).
+loop(N) :- N > 0, M is N - 1, loop(M).
+`
+	expectBinding(t, src, "loop(100000).", "", "")
+}
+
+func TestDeepRecursionEnvironments(t *testing.T) {
+	src := appendSrc + `
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+`
+	expectBinding(t, src, "len([a,b,c,d,e,f,g], N).", "N", "7")
+}
+
+func TestPermanentVariables(t *testing.T) {
+	src := `
+p(X, Z) :- q(X, Y), r(Y, Z2), s(Z2, Z).
+q(1, 2).
+r(2, 3).
+s(3, 4).
+`
+	expectBinding(t, src, "p(1, Z).", "Z", "4")
+}
+
+func TestBacktrackingSearch(t *testing.T) {
+	src := `
+edge(a, b). edge(b, c). edge(c, d). edge(a, x).
+path(X, X, [X]).
+path(X, Z, [X|P]) :- edge(X, Y), path(Y, Z, P).
+`
+	expectBinding(t, src, "path(a, d, P).", "P", "[a,b,c,d]")
+	expectFail(t, src, "path(d, a, P).")
+}
+
+func TestFunctorArgUniv(t *testing.T) {
+	src := "ok.\n"
+	expectBinding(t, src, "functor(f(a,b,c), N, A).", "N", "f")
+	expectBinding(t, src, "functor(f(a,b,c), N, A).", "A", "3")
+	expectBinding(t, src, "functor(T, point, 2).", "T", "point(_G65537,_G65538)")
+	expectBinding(t, src, "arg(2, f(a,b,c), X).", "X", "b")
+	expectBinding(t, src, "f(1,2) =.. L.", "L", "[f,1,2]")
+	expectBinding(t, src, "T =.. [g, 7].", "T", "g(7)")
+}
+
+func TestQueryVariableSharing(t *testing.T) {
+	expectBinding(t, appendSrc, "X = Y, Y = 3.", "X", "3")
+	expectBinding(t, appendSrc, "app([X], [Y], [1, 2]), X = 1.", "Y", "2")
+}

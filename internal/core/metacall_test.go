@@ -1,0 +1,28 @@
+package core
+
+import "testing"
+
+// TestMetaCall exercises the call/1 escape: goals constructed at run
+// time dispatch through the runtime predicate table.
+func TestMetaCall(t *testing.T) {
+	src := `
+p(1). p(2). p(3).
+double(X, Y) :- Y is X * 2.
+apply1(G, X) :- G =.. [F], H =.. [F, X], call(H).
+maplike([], _).
+maplike([X|Xs], G) :- H =.. [G, X], call(H), maplike(Xs, G).
+pos(X) :- X > 0.
+callgoal(G) :- call(G).
+`
+	expectBinding(t, src, "G = p(X), call(G).", "X", "1")
+	expectBinding(t, src, "call(p(2)).", "", "")
+	expectFail(t, src, "call(p(9)).")
+	expectBinding(t, src, "G = double(21, Y), call(G), Y == 42.", "Y", "42")
+	expectBinding(t, src, "maplike([1,2,3], pos).", "", "")
+	expectFail(t, src, "maplike([1,-2], pos).")
+	// Backtracking through a meta-called goal.
+	expectBinding(t, src, "call(p(X)), X > 2.", "X", "3")
+	// A clause whose only goal is the escape must preserve its
+	// continuation (the environment-requirement regression).
+	expectBinding(t, src, "callgoal(p(X)), X == 1.", "X", "1")
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/term"
+)
+
+// Property-based tests: randomly generated inputs are pushed through
+// compiled Prolog on the simulated machine and the answers checked
+// against Go-side oracles.
+
+const listLib = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+qsort([X | L], R, R0) :- partition(L, X, L1, L2),
+    qsort(L2, R1, R0), qsort(L1, R, [X | R1]).
+qsort([], R, R).
+partition([X | L], Y, [X | L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X | L], Y, L1, [X | L2]) :- partition(L, Y, L1, L2).
+partition([], _, [], []).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+`
+
+func listLiteral(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+func randList(rng *rand.Rand, maxLen int) []int {
+	n := rng.Intn(maxLen)
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = rng.Intn(200) - 100
+	}
+	return xs
+}
+
+func parseIntList(t *testing.T, tm term.Term) []int {
+	t.Helper()
+	var out []int
+	for {
+		if a, ok := tm.(term.Atom); ok && a == term.NilAtom {
+			return out
+		}
+		h, tl, ok := term.IsCons(tm)
+		if !ok {
+			t.Fatalf("not a proper list: %v", tm)
+		}
+		i, ok := h.(term.Int)
+		if !ok {
+			t.Fatalf("non-integer element: %v", h)
+		}
+		out = append(out, int(i))
+		tm = tl
+	}
+}
+
+func TestPropertyNrevInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prog := MustLoad(listLib)
+	for i := 0; i < 25; i++ {
+		xs := randList(rng, 25)
+		q := fmt.Sprintf("nrev(%s, R), nrev(R, RR).", listLiteral(xs))
+		sol, err := prog.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Success {
+			t.Fatalf("nrev failed on %v", xs)
+		}
+		rr, _ := sol.Binding("RR")
+		if got := parseIntList(t, rr); !equalInts(got, xs) {
+			t.Fatalf("nrev(nrev(%v)) = %v", xs, got)
+		}
+		r, _ := sol.Binding("R")
+		rev := parseIntList(t, r)
+		for j := range xs {
+			if rev[j] != xs[len(xs)-1-j] {
+				t.Fatalf("nrev(%v) = %v", xs, rev)
+			}
+		}
+	}
+}
+
+func TestPropertyQsortSortsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prog := MustLoad(listLib)
+	for i := 0; i < 25; i++ {
+		xs := randList(rng, 30)
+		q := fmt.Sprintf("qsort(%s, S, []).", listLiteral(xs))
+		sol, err := prog.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Success {
+			t.Fatalf("qsort failed on %v", xs)
+		}
+		s, _ := sol.Binding("S")
+		got := parseIntList(t, s)
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		if !equalInts(got, want) {
+			t.Fatalf("qsort(%v) = %v, want %v", xs, got, want)
+		}
+	}
+}
+
+func TestPropertyAppendLengthLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prog := MustLoad(listLib)
+	for i := 0; i < 25; i++ {
+		a, b := randList(rng, 15), randList(rng, 15)
+		q := fmt.Sprintf("app(%s, %s, C), len(C, N).", listLiteral(a), listLiteral(b))
+		sol, err := prog.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := sol.Binding("N")
+		if int(n.(term.Int)) != len(a)+len(b) {
+			t.Fatalf("len(app(%v,%v)) = %v", a, b, n)
+		}
+	}
+}
+
+func TestPropertyAppendSplitEnumeration(t *testing.T) {
+	// app(X, Y, L) enumerates len(L)+1 splits; with a length guard it
+	// selects exactly one. Checks backtracking depth correctness.
+	rng := rand.New(rand.NewSource(4))
+	prog := MustLoad(listLib)
+	for i := 0; i < 15; i++ {
+		xs := randList(rng, 12)
+		for _, k := range []int{0, len(xs) / 2, len(xs)} {
+			q := fmt.Sprintf("app(X, Y, %s), len(X, %d).", listLiteral(xs), k)
+			sol, err := prog.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sol.Success {
+				t.Fatalf("split %d of %v failed", k, xs)
+			}
+			x, _ := sol.Binding("X")
+			if got := parseIntList(t, x); !equalInts(got, xs[:k]) {
+				t.Fatalf("split %d of %v = %v", k, xs, got)
+			}
+		}
+	}
+}
+
+func TestPropertyArithmeticOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prog := MustLoad("ok.\n")
+	for i := 0; i < 50; i++ {
+		a := rng.Intn(2000) - 1000
+		b := rng.Intn(999) + 1
+		q := fmt.Sprintf("X is (%d + %d) * %d - %d // %d, Y is %d mod %d.",
+			a, b, a, a, b, a, b)
+		sol, err := prog.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantX := (a+b)*a - a/b
+		wantY := a % b // ISO mod: result takes the divisor's sign
+		if wantY != 0 && (wantY < 0) != (b < 0) {
+			wantY += b
+		}
+		x, _ := sol.Binding("X")
+		y, _ := sol.Binding("Y")
+		if int(x.(term.Int)) != wantX || int(y.(term.Int)) != wantY {
+			t.Fatalf("arith oracle: got X=%v Y=%v, want %d %d (a=%d b=%d)", x, y, wantX, wantY, a, b)
+		}
+	}
+}
+
+func TestPropertyShallowEagerAgree(t *testing.T) {
+	// The two backtracking policies must be observationally identical:
+	// same success, same bindings, same inference count.
+	rng := rand.New(rand.NewSource(6))
+	prog := MustLoad(listLib)
+	for i := 0; i < 20; i++ {
+		xs := randList(rng, 10)
+		needle := rng.Intn(200) - 100
+		q := fmt.Sprintf("member(%d, %s).", needle, listLiteral(xs))
+		s1, err := prog.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := prog.QueryConfig(q, machine.Config{Shallow: machine.Off})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.Success != s2.Success {
+			t.Fatalf("%q: shallow=%v eager=%v", q, s1.Success, s2.Success)
+		}
+		if s1.Result.Stats.Inferences != s2.Result.Stats.Inferences {
+			t.Fatalf("%q: inference counts differ: %d vs %d", q,
+				s1.Result.Stats.Inferences, s2.Result.Stats.Inferences)
+		}
+		want := false
+		for _, x := range xs {
+			if x == needle {
+				want = true
+			}
+		}
+		if s1.Success != want {
+			t.Fatalf("member(%d, %v) = %v, want %v", needle, xs, s1.Success, want)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+const zebraSrc = `
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+next_to(A, B, L) :- right_of(A, B, L).
+next_to(A, B, L) :- right_of(B, A, L).
+right_of(R, L, [L, R | _]).
+right_of(R, L, [_ | T]) :- right_of(R, L, T).
+first(X, [X | _]).
+middle(X, [_, _, X, _, _]).
+zebra(Owner) :-
+    Houses = [_, _, _, _, _],
+    member(house(red, english, _, _, _), Houses),
+    right_of(house(green, _, _, _, _), house(ivory, _, _, _, _), Houses),
+    first(house(_, norwegian, _, _, _), Houses),
+    middle(house(_, _, milk, _, _), Houses),
+    member(house(_, spanish, _, _, dog), Houses),
+    member(house(green, _, coffee, _, _), Houses),
+    member(house(_, ukrainian, tea, _, _), Houses),
+    member(house(_, _, _, oldgold, snails), Houses),
+    member(house(yellow, _, _, kools, _), Houses),
+    next_to(house(_, _, _, chesterfield, _), house(_, _, _, _, fox), Houses),
+    next_to(house(_, _, _, kools, _), house(_, _, _, _, horse), Houses),
+    member(house(_, _, orangejuice, luckystrike, _), Houses),
+    member(house(_, japanese, _, parliament, _), Houses),
+    next_to(house(blue, _, _, _, _), house(_, norwegian, _, _, _), Houses),
+    member(house(_, _, water, _, _), Houses),
+    member(house(_, Owner, _, _, zebra), Houses).
+`
+
+// TestZebraPuzzle is the "real-size program" check: a deep
+// backtracking search with heavy structure unification must find the
+// unique canonical solution in every machine configuration.
+func TestZebraPuzzle(t *testing.T) {
+	prog := MustLoad(zebraSrc)
+	configs := map[string]machine.Config{
+		"default":       {},
+		"eager":         {Shallow: machine.Off},
+		"software":      {HWDeref: machine.Off, HWTrail: machine.Off},
+		"unified-cache": {SplitDataCache: machine.Off},
+		"gc":            {GCThresholdWords: 4096},
+	}
+	for name, cfg := range configs {
+		sol, err := prog.QueryConfig("zebra(Owner).", cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !sol.Success {
+			t.Fatalf("%s: no solution", name)
+		}
+		owner, _ := sol.Binding("Owner")
+		if owner.String() != "japanese" {
+			t.Fatalf("%s: zebra owner = %v, want japanese", name, owner)
+		}
+	}
+}
+
+// TestZebraShallowWins verifies that the shallow machinery is doing
+// real work on a search of this shape.
+func TestZebraShallowWins(t *testing.T) {
+	prog := MustLoad(zebraSrc)
+	shal, err := prog.Query("zebra(Owner).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eag, err := prog.QueryConfig("zebra(Owner).", machine.Config{Shallow: machine.Off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shal.Result.Stats.ChoicePoints >= eag.Result.Stats.ChoicePoints {
+		t.Errorf("shallow CPs %d >= eager %d",
+			shal.Result.Stats.ChoicePoints, eag.Result.Stats.ChoicePoints)
+	}
+	if shal.Result.Stats.Cycles >= eag.Result.Stats.Cycles {
+		t.Errorf("shallow cycles %d >= eager %d",
+			shal.Result.Stats.Cycles, eag.Result.Stats.Cycles)
+	}
+	if shal.Result.Stats.Inferences != eag.Result.Stats.Inferences {
+		t.Errorf("inference counts differ: %d vs %d",
+			shal.Result.Stats.Inferences, eag.Result.Stats.Inferences)
+	}
+}

@@ -1,0 +1,158 @@
+package kcmisa
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Instruction-word field layout (figure 3). The opcode sits at the
+// top of the tag part; register addresses always occupy the same
+// fields ("a fixed instruction length saves a lot of decoding
+// hardware"); the 32-bit value part carries the constant value, the
+// absolute branch target or the offset.
+//
+//	[63:56] opcode
+//	[55:52] constant type (K tag) for constant-carrying instructions
+//	[51:46] r1
+//	[45:40] r2
+//	[39:33] r3 / small immediate N
+//	[32]    inference marker (section 4.2 Klips accounting)
+//	[31:0]  value: K value, code address, or immediate
+const (
+	opShift    = 56
+	ktypeShift = 52
+	r1Shift    = 46
+	r2Shift    = 40
+	nShift     = 33
+	markBit    = 1 << 32
+	failValue  = 0xFFFFFFFF // encoded form of FailLabel
+)
+
+// EncodeErr describes an instruction that cannot be represented in
+// the fixed-width format.
+type EncodeErr struct {
+	In  Instr
+	Why string
+}
+
+func (e *EncodeErr) Error() string {
+	return fmt.Sprintf("kcmisa: cannot encode %v: %s", e.In, e.Why)
+}
+
+func encLabel(l int) uint32 {
+	if l == FailLabel {
+		return failValue
+	}
+	return uint32(l)
+}
+
+func decLabel(v uint32) int {
+	if v == failValue {
+		return FailLabel
+	}
+	return int(v)
+}
+
+// Encode translates one symbolic instruction (with resolved labels:
+// every L must be an absolute code address or FailLabel) into its
+// code words.
+func Encode(in Instr) ([]word.Word, error) {
+	if in.N < 0 || in.N > 127 {
+		return nil, &EncodeErr{in, "immediate out of range"}
+	}
+	w := word.Word(uint64(in.Op)<<opShift |
+		uint64(in.K.Type())<<ktypeShift |
+		uint64(in.R1&0x3F)<<r1Shift |
+		uint64(in.R2&0x3F)<<r2Shift |
+		uint64(in.N&0x7F)<<nShift)
+	if in.Mark {
+		w |= markBit
+	}
+	switch in.Op {
+	case Add, Sub, Mul, Div, Mod, Rem, Band, Bor, Bxor, Shl, Shr, Abs, MinOp, MaxOp:
+		// R3 travels in the N field (never used together with N).
+		w = w&^(0x7F<<nShift) | word.Word(uint64(in.R3&0x3F)<<nShift)
+		return []word.Word{w}, nil
+	case Call, Execute, TryMeElse, RetryMeElse, Try, Retry, Trust, Jump:
+		return []word.Word{w | word.Word(encLabel(in.L))}, nil
+	case GetConst, GetStruct, PutConst, PutStruct, UnifyConst, LoadConst:
+		return []word.Word{w | word.Word(in.K.Value())}, nil
+	case SwitchOnTerm:
+		if in.SwT == nil {
+			return nil, &EncodeErr{in, "missing term-switch targets"}
+		}
+		return []word.Word{
+			w | word.Word(encLabel(in.SwT.Var)),
+			word.CodePtr(encLabel(in.SwT.Const)),
+			word.CodePtr(encLabel(in.SwT.List)),
+			word.CodePtr(encLabel(in.SwT.Struct)),
+		}, nil
+	case SwitchOnConst, SwitchOnStruct:
+		if len(in.Sw) > 127 {
+			return nil, &EncodeErr{in, "switch table too large"}
+		}
+		out := make([]word.Word, 0, 1+2*len(in.Sw))
+		w = w&^(0x7F<<nShift) | word.Word(len(in.Sw))<<nShift
+		w |= word.Word(encLabel(in.L)) // default target (missed key)
+		out = append(out, w)
+		for _, e := range in.Sw {
+			out = append(out, e.Key, word.CodePtr(encLabel(e.L)))
+		}
+		return out, nil
+	default:
+		return []word.Word{w}, nil
+	}
+}
+
+// Fetcher reads one code word at a word address; the machine passes
+// its code-cache access path here so decoding generates the same
+// code-space traffic the hardware prefetch unit would.
+type Fetcher func(addr uint32) word.Word
+
+// Decode reads the instruction at addr and returns it together with
+// its size in words.
+func Decode(fetch Fetcher, addr uint32) (Instr, int) {
+	w := fetch(addr)
+	op := Op(w >> opShift)
+	in := Instr{Op: op, Mark: w&markBit != 0}
+	val := w.Value()
+	r1 := Reg(w >> r1Shift & 0x3F)
+	r2 := Reg(w >> r2Shift & 0x3F)
+	n := int(w >> nShift & 0x7F)
+	ktype := word.Type(w >> ktypeShift & 0xF)
+	switch op {
+	case Add, Sub, Mul, Div, Mod, Rem, Band, Bor, Bxor, Shl, Shr, Abs, MinOp, MaxOp:
+		in.R1, in.R2, in.R3 = r1, r2, Reg(n)
+		return in, 1
+	case Call, Execute, TryMeElse, RetryMeElse, Try, Retry, Trust, Jump:
+		in.L = decLabel(val)
+		in.N = n // predicate arity on the alternative instructions
+		return in, 1
+	case GetConst, GetStruct, PutConst, PutStruct, UnifyConst, LoadConst:
+		in.R1, in.R2, in.N = r1, r2, n
+		in.K = word.Make(ktype, word.ZNone, val)
+		return in, 1
+	case SwitchOnTerm:
+		in.SwT = &TermSwitch{
+			Var:    decLabel(val),
+			Const:  decLabel(fetch(addr + 1).Value()),
+			List:   decLabel(fetch(addr + 2).Value()),
+			Struct: decLabel(fetch(addr + 3).Value()),
+		}
+		return in, 4
+	case SwitchOnConst, SwitchOnStruct:
+		in.L = decLabel(val)
+		in.Sw = make([]SwEntry, n)
+		for i := 0; i < n; i++ {
+			in.Sw[i] = SwEntry{
+				Key: fetch(addr + 1 + uint32(2*i)),
+				L:   decLabel(fetch(addr + 2 + uint32(2*i)).Value()),
+			}
+		}
+		return in, 1 + 2*n
+	default:
+		in.R1, in.R2, in.N = r1, r2, n
+		return in, 1
+	}
+}

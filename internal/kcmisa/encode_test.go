@@ -1,0 +1,190 @@
+package kcmisa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// fetchSlice makes a Fetcher over encoded words.
+func fetchSlice(ws []word.Word) Fetcher {
+	return func(a uint32) word.Word { return ws[a] }
+}
+
+// roundtrip encodes and decodes one instruction and compares the
+// operands the op actually uses.
+func roundtrip(t *testing.T, in Instr) {
+	t.Helper()
+	ws, err := Encode(in)
+	if err != nil {
+		t.Fatalf("encode %v: %v", in, err)
+	}
+	if len(ws) != in.Words() {
+		t.Fatalf("%v: encoded %d words, Words()=%d", in, len(ws), in.Words())
+	}
+	out, n := Decode(fetchSlice(ws), 0)
+	if n != len(ws) {
+		t.Fatalf("%v: decode consumed %d words, want %d", in, n, len(ws))
+	}
+	if out.Op != in.Op || out.Mark != in.Mark {
+		t.Fatalf("roundtrip: got %v (mark=%v), want %v (mark=%v)", out, out.Mark, in, in.Mark)
+	}
+	switch in.Op {
+	case Add, Sub, Mul, Div, Mod:
+		if out.R1 != in.R1 || out.R2 != in.R2 || out.R3 != in.R3 {
+			t.Fatalf("arith roundtrip: %v vs %v", out, in)
+		}
+	case Call, Execute, TryMeElse, RetryMeElse, Try, Retry, Trust, Jump:
+		if out.L != in.L || out.N != in.N {
+			t.Fatalf("control roundtrip: got L=%d N=%d, want L=%d N=%d", out.L, out.N, in.L, in.N)
+		}
+	case GetConst, GetStruct, PutConst, PutStruct, UnifyConst, LoadConst:
+		if out.K.Type() != in.K.Type() || out.K.Value() != in.K.Value() {
+			t.Fatalf("const roundtrip: got %v, want %v", out.K, in.K)
+		}
+		if out.R1 != in.R1 || out.R2 != in.R2 {
+			t.Fatalf("const regs roundtrip: %v vs %v", out, in)
+		}
+	case SwitchOnTerm:
+		if *out.SwT != *in.SwT {
+			t.Fatalf("term switch roundtrip: %v vs %v", *out.SwT, *in.SwT)
+		}
+	case SwitchOnConst, SwitchOnStruct:
+		if out.L != in.L || len(out.Sw) != len(in.Sw) {
+			t.Fatalf("switch roundtrip size")
+		}
+		for i := range in.Sw {
+			if out.Sw[i] != in.Sw[i] {
+				t.Fatalf("switch entry %d: %v vs %v", i, out.Sw[i], in.Sw[i])
+			}
+		}
+	default:
+		if out.R1 != in.R1 || out.R2 != in.R2 || out.N != in.N {
+			t.Fatalf("roundtrip: got %v, want %v", out, in)
+		}
+	}
+}
+
+func TestEncodeDecodeAllOps(t *testing.T) {
+	k := word.FromInt(-42)
+	fn := word.Functor(123, 3)
+	cases := []Instr{
+		{Op: Noop, Mark: true},
+		{Op: Call, L: 0x0FFFFFF, N: 5},
+		{Op: Execute, L: 7, N: 2},
+		{Op: Proceed},
+		{Op: Allocate, N: 17},
+		{Op: Deallocate},
+		{Op: TryMeElse, L: 99, N: 3},
+		{Op: RetryMeElse, L: 12, N: 3},
+		{Op: TrustMe, N: 3},
+		{Op: Try, L: 5, N: 1},
+		{Op: Retry, L: 6, N: 1},
+		{Op: Trust, L: 7, N: 1},
+		{Op: Neck, N: 9},
+		{Op: Jump, L: FailLabel},
+		{Op: Fail, Mark: true},
+		{Op: Cut}, {Op: SaveB0, N: 4}, {Op: CutY, N: 4},
+		{Op: Halt}, {Op: HaltFail},
+		{Op: GetVarX, R1: 63, R2: 1},
+		{Op: GetValX, R1: 2, R2: 3},
+		{Op: GetConst, K: k, R2: 2},
+		{Op: GetNil, R2: 1},
+		{Op: GetList, R2: 2},
+		{Op: GetStruct, K: fn, R2: 3},
+		{Op: UnifyVarX, R1: 10}, {Op: UnifyValX, R1: 11}, {Op: UnifyLocX, R1: 12},
+		{Op: UnifyVarY, N: 6}, {Op: UnifyValY, N: 7}, {Op: UnifyLocY, N: 8},
+		{Op: UnifyConst, K: word.FromAtom(55)},
+		{Op: UnifyNil}, {Op: UnifyList}, {Op: UnifyVoid, N: 3},
+		{Op: PutVarX, R1: 5, R2: 6}, {Op: PutVarY, N: 2, R2: 3},
+		{Op: PutValX, R1: 8, R2: 9}, {Op: PutValY, N: 1, R2: 2},
+		{Op: PutUnsafeY, N: 3, R2: 4},
+		{Op: PutConst, K: word.Nil(), R2: 1},
+		{Op: PutNil, R2: 2}, {Op: PutList, R2: 3}, {Op: PutStruct, K: fn, R2: 4},
+		{Op: MoveXY, R1: 7, N: 3}, {Op: MoveYX, R1: 7, N: 3},
+		{Op: LoadConst, R1: 9, K: word.FromFloat(0x40490FDB), Mark: true},
+		{Op: Add, R1: 1, R2: 2, R3: 3, Mark: true},
+		{Op: Mod, R1: 61, R2: 62, R3: 63},
+		{Op: CmpLt, R1: 1, R2: 2, Mark: true},
+		{Op: TestInteger, R1: 4, Mark: true},
+		{Op: IdentEq, R1: 5, R2: 6},
+		{Op: UnifyRegs, R1: 7, R2: 8, Mark: true},
+		{Op: Builtin, N: 2},
+		{Op: SwitchOnTerm, SwT: &TermSwitch{Var: 1, Const: FailLabel, List: 3, Struct: 4}},
+		{Op: SwitchOnConst, L: 44, Sw: []SwEntry{{Key: word.FromInt(1), L: 10}, {Key: word.FromAtom(2), L: 20}}},
+		{Op: SwitchOnStruct, L: FailLabel, Sw: []SwEntry{{Key: fn, L: 30}}},
+	}
+	for _, in := range cases {
+		roundtrip(t, in)
+	}
+}
+
+func TestEncodeRejectsBigImmediates(t *testing.T) {
+	if _, err := Encode(Instr{Op: Allocate, N: 128}); err == nil {
+		t.Fatal("N=128 must not encode (7-bit field)")
+	}
+	if _, err := Encode(Instr{Op: Allocate, N: -1}); err == nil {
+		t.Fatal("negative N must not encode")
+	}
+	big := Instr{Op: SwitchOnConst, L: FailLabel}
+	for i := 0; i < 128; i++ {
+		big.Sw = append(big.Sw, SwEntry{Key: word.FromInt(int32(i)), L: i})
+	}
+	if _, err := Encode(big); err == nil {
+		t.Fatal("oversized switch table must not encode")
+	}
+}
+
+func TestEncodeQuickRandomArith(t *testing.T) {
+	f := func(r1, r2, r3 uint8, mark bool) bool {
+		in := Instr{Op: Add, R1: Reg(r1 & 63), R2: Reg(r2 & 63), R3: Reg(r3 & 63), Mark: mark}
+		ws, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, _ := Decode(fetchSlice(ws), 0)
+		return out.R1 == in.R1 && out.R2 == in.R2 && out.R3 == in.R3 && out.Mark == mark
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeQuickRandomConsts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		var k word.Word
+		switch rng.Intn(4) {
+		case 0:
+			k = word.FromInt(rng.Int31() - 1<<30)
+		case 1:
+			k = word.FromAtom(rng.Uint32() & 0xFFFFFF)
+		case 2:
+			k = word.Nil()
+		case 3:
+			k = word.Functor(rng.Uint32()&0xFFFFFF, rng.Intn(256))
+		}
+		in := Instr{Op: UnifyConst, K: k, Mark: rng.Intn(2) == 0}
+		ws, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := Decode(fetchSlice(ws), 0)
+		if out.K.Type() != k.Type() || out.K.Value() != k.Value() || out.Mark != in.Mark {
+			t.Fatalf("roundtrip %v: got %v", k, out.K)
+		}
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	// Every op must render without panicking and non-emptily.
+	for op := Noop; op < NumOps; op++ {
+		in := Instr{Op: op, SwT: &TermSwitch{}, Proc: term.Ind("p", 2)}
+		if in.String() == "" {
+			t.Errorf("op %d renders empty", op)
+		}
+	}
+}

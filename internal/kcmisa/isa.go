@@ -1,0 +1,284 @@
+// Package kcmisa defines the KCM instruction set: the WAM-derived
+// operation repertoire produced by the compiler, its operand
+// conventions, and the fixed-width 64-bit encoding described in the
+// paper (figure 3). Switch instructions are the only multi-word
+// instructions, exactly as on the hardware.
+//
+// # Operand conventions
+//
+// Registers R1..R3 index the 64 x 64-bit register file. Argument
+// registers A1..An are registers 1..n (register 0 is a scratch
+// register reserved for the microcode). Permanent variables Yn live
+// in environments on the local stack and are referenced through the
+// small immediate N, as are arities, environment sizes, void counts
+// and built-in numbers. K is a tagged constant operand and L a code
+// label: an instruction index before linking, an absolute code-space
+// word address afterwards. L = -1 denotes the failure continuation.
+package kcmisa
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// Reg is a register-file index (0..63).
+type Reg uint8
+
+// NumRegs is the size of the KCM register file.
+const NumRegs = 64
+
+// Op is a KCM opcode.
+type Op uint8
+
+// The instruction repertoire. Get/Put/Unify ops follow the WAM;
+// Try/Retry/Trust and Neck implement KCM's delayed choice-point
+// creation (shallow backtracking); the arithmetic, test and identity
+// ops are the inline guard instructions whose conditional-branch
+// semantics cost 1 cycle untaken / 4 cycles taken.
+const (
+	Noop Op = iota
+
+	// Control.
+	Call     // L/Proc: call predicate; sets continuation and cut barrier
+	Execute  // L/Proc: tail call
+	Proceed  // return through the continuation register
+	Allocate // N: push environment with N permanent variables
+	Deallocate
+	TryMeElse      // L: first alternative; save shadow registers, shallow mode
+	RetryMeElse    // L: middle alternative
+	TrustMe        // last alternative
+	Try            // L: out-of-line alternative block: first
+	Retry          // L: middle
+	Trust          // L: last
+	Neck           // N=arity: end of guard; materialise choice point if needed
+	Jump           // L: unconditional intra-predicate jump
+	Fail           // explicit failure
+	SwitchOnTerm   // SwT: 4-way dispatch on type of A1
+	SwitchOnConst  // Sw: hashed dispatch on constant value
+	SwitchOnStruct // Sw: hashed dispatch on functor
+	Cut            // cut to the barrier captured at call time
+	SaveB0         // N=Yn: save cut barrier into a permanent variable
+	CutY           // N=Yn: cut to a saved barrier
+	Halt           // query success: stop the machine
+	HaltFail       // query failure: stop the machine
+
+	// Head unification (get).
+	GetVarX   // R1=Xn R2=Ai: Xn := Ai
+	GetValX   // R1=Xn R2=Ai: unify(Xn, Ai)
+	GetConst  // K R2=Ai: unify Ai with constant
+	GetNil    // R2=Ai
+	GetList   // R2=Ai: read or write mode
+	GetStruct // K=functor R2=Ai
+
+	// Subterm unification (unify), driven by the read/write mode flag.
+	UnifyVarX  // R1=Xn
+	UnifyValX  // R1=Xn
+	UnifyLocX  // R1=Xn: unify_local_value
+	UnifyVarY  // N=Yn
+	UnifyValY  // N=Yn
+	UnifyLocY  // N=Yn
+	UnifyConst // K
+	UnifyNil
+	UnifyList // the tail of the current cell is the next list cell
+	UnifyVoid // N=count
+
+	// Goal-argument construction (put).
+	PutVarX    // R1=Xn R2=Ai: fresh heap variable into both
+	PutVarY    // N=Yn R2=Ai: fresh permanent variable
+	PutValX    // R1=Xn R2=Ai: Ai := Xn
+	PutValY    // N=Yn R2=Ai: Ai := Yn
+	PutUnsafeY // N=Yn R2=Ai: globalising put
+	PutConst   // K R2=Ai
+	PutNil     // R2=Ai
+	PutList    // R2=Ai: write-mode list cell
+	PutStruct  // K=functor R2=Ai
+	MoveXY     // R1=Xn N=Yn: Yn := Xn (after allocate)
+	MoveYX     // R1=Xn N=Yn: Xn := Yn
+
+	// Inline arithmetic (guard or body). Operands deref'd; R3 := R1 op R2.
+	LoadConst // R1 K: R1 := K
+	Add
+	Sub
+	Mul
+	Div
+	Mod
+	Rem
+	Band // bitwise and (/\)
+	Bor  // bitwise or (\/)
+	Bxor // bitwise xor
+	Shl  // <<
+	Shr  // >>
+	Abs  // unary: R3 := |R1|
+	MinOp
+	MaxOp
+
+	// Inline comparisons: fail if the relation does not hold.
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+	CmpEq // =:=
+	CmpNe // =\=
+
+	// Inline type tests: fail if the test does not hold.
+	TestVar
+	TestNonvar
+	TestAtom
+	TestInteger
+	TestAtomic
+
+	// Identity comparison (==, \==): structural, no binding.
+	IdentEq
+	IdentNe
+
+	// General unification of two registers (=/2, is/2 result).
+	UnifyRegs
+
+	// Escape to the built-in layer; N = built-in number, args in A1..An.
+	Builtin
+
+	NumOps // sentinel
+)
+
+var opNames = [...]string{
+	Noop: "noop", Call: "call", Execute: "execute", Proceed: "proceed",
+	Allocate: "allocate", Deallocate: "deallocate",
+	TryMeElse: "try_me_else", RetryMeElse: "retry_me_else", TrustMe: "trust_me",
+	Try: "try", Retry: "retry", Trust: "trust",
+	Neck: "neck", Jump: "jump", Fail: "fail",
+	SwitchOnTerm: "switch_on_term", SwitchOnConst: "switch_on_constant",
+	SwitchOnStruct: "switch_on_structure",
+	Cut:            "cut", SaveB0: "save_b0", CutY: "cut_y", Halt: "halt", HaltFail: "halt_fail",
+	GetVarX: "get_variable", GetValX: "get_value", GetConst: "get_constant",
+	GetNil: "get_nil", GetList: "get_list", GetStruct: "get_structure",
+	UnifyVarX: "unify_variable", UnifyValX: "unify_value", UnifyLocX: "unify_local_value",
+	UnifyVarY: "unify_variable_y", UnifyValY: "unify_value_y", UnifyLocY: "unify_local_value_y",
+	UnifyConst: "unify_constant", UnifyNil: "unify_nil", UnifyList: "unify_list",
+	UnifyVoid: "unify_void",
+	PutVarX:   "put_variable", PutVarY: "put_variable_y", PutValX: "put_value",
+	PutValY: "put_value_y", PutUnsafeY: "put_unsafe_value", PutConst: "put_constant",
+	PutNil: "put_nil", PutList: "put_list", PutStruct: "put_structure",
+	MoveXY: "move_xy", MoveYX: "move_yx",
+	LoadConst: "load_constant", Add: "add", Sub: "sub", Mul: "mul", Div: "div", Mod: "mod",
+	Rem: "rem", Band: "and", Bor: "or", Bxor: "xor", Shl: "shl", Shr: "shr",
+	Abs: "abs", MinOp: "min", MaxOp: "max",
+	CmpLt: "cmp_lt", CmpLe: "cmp_le", CmpGt: "cmp_gt", CmpGe: "cmp_ge",
+	CmpEq: "cmp_eq", CmpNe: "cmp_ne",
+	TestVar: "test_var", TestNonvar: "test_nonvar", TestAtom: "test_atom",
+	TestInteger: "test_integer", TestAtomic: "test_atomic",
+	IdentEq: "ident_eq", IdentNe: "ident_ne",
+	UnifyRegs: "unify_regs", Builtin: "builtin",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// FailLabel is the label value denoting failure.
+const FailLabel = -1
+
+// SwEntry is one switch-table entry: a constant (or functor word) and
+// its target label.
+type SwEntry struct {
+	Key word.Word
+	L   int
+}
+
+// TermSwitch holds the four switch_on_term targets, dispatching on
+// the dereferenced type of argument register A1.
+type TermSwitch struct {
+	Var, Const, List, Struct int
+}
+
+// Instr is one symbolic KCM instruction.
+type Instr struct {
+	Op         Op
+	R1, R2, R3 Reg
+	N          int
+	K          word.Word
+	L          int
+	Proc       term.Indicator // symbolic call target (pre-link)
+	Sw         []SwEntry
+	SwT        *TermSwitch
+	// Mark tags the final instruction of an inline source goal
+	// (is/2, comparisons, type tests, =/2, ==/2): executing it counts
+	// one logical inference under the paper's definition. Calls and
+	// built-in escapes count through their own opcodes; cut is not
+	// counted (footnote in section 4.2).
+	Mark bool
+}
+
+// Words returns the size of the instruction in 64-bit code words:
+// 1 for everything except the switch instructions.
+func (in Instr) Words() int {
+	switch in.Op {
+	case SwitchOnTerm:
+		return 4 // opcode word + const/list/struct target words
+	case SwitchOnConst, SwitchOnStruct:
+		return 1 + 2*len(in.Sw) // opcode word + (key, target) pairs
+	}
+	return 1
+}
+
+func (in Instr) String() string {
+	s := in.Op.String()
+	switch in.Op {
+	case Call, Execute:
+		if in.Proc.Name != "" {
+			return fmt.Sprintf("%s %v", s, in.Proc)
+		}
+		return fmt.Sprintf("%s @%d", s, in.L)
+	case TryMeElse, RetryMeElse, Try, Retry, Trust, Jump:
+		return fmt.Sprintf("%s L%d", s, in.L)
+	case Allocate, Neck, UnifyVoid, SaveB0, CutY, Builtin,
+		UnifyVarY, UnifyValY, UnifyLocY:
+		return fmt.Sprintf("%s %d", s, in.N)
+	case GetVarX, GetValX, PutVarX, PutValX:
+		return fmt.Sprintf("%s X%d, A%d", s, in.R1, in.R2)
+	case MoveXY:
+		return fmt.Sprintf("%s X%d, Y%d", s, in.R1, in.N)
+	case MoveYX:
+		return fmt.Sprintf("%s Y%d, X%d", s, in.N, in.R1)
+	case PutVarY, PutValY, PutUnsafeY:
+		return fmt.Sprintf("%s Y%d, A%d", s, in.N, in.R2)
+	case GetConst, GetStruct, PutConst, PutStruct:
+		return fmt.Sprintf("%s %v, A%d", s, in.K, in.R2)
+	case GetNil, GetList, PutNil, PutList:
+		return fmt.Sprintf("%s A%d", s, in.R2)
+	case UnifyVarX, UnifyValX, UnifyLocX:
+		return fmt.Sprintf("%s X%d", s, in.R1)
+	case UnifyConst, LoadConst:
+		return fmt.Sprintf("%s %v", s, in.K)
+	case Add, Sub, Mul, Div, Mod, Rem, Band, Bor, Bxor, Shl, Shr, MinOp, MaxOp:
+		return fmt.Sprintf("%s X%d, X%d, X%d", s, in.R1, in.R2, in.R3)
+	case Abs:
+		return fmt.Sprintf("%s X%d, X%d", s, in.R1, in.R3)
+	case CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe, IdentEq, IdentNe, UnifyRegs:
+		return fmt.Sprintf("%s X%d, X%d", s, in.R1, in.R2)
+	case TestVar, TestNonvar, TestAtom, TestInteger, TestAtomic:
+		return fmt.Sprintf("%s X%d", s, in.R1)
+	case SwitchOnTerm:
+		return fmt.Sprintf("%s var:L%d const:L%d list:L%d struct:L%d",
+			s, in.SwT.Var, in.SwT.Const, in.SwT.List, in.SwT.Struct)
+	case SwitchOnConst, SwitchOnStruct:
+		return fmt.Sprintf("%s (%d entries)", s, len(in.Sw))
+	}
+	return s
+}
+
+// Transfer reports whether the instruction unconditionally leaves the
+// current straight-line code path (used by the assembler to validate
+// block structure).
+func (in Instr) Transfer() bool {
+	switch in.Op {
+	case Execute, Proceed, Jump, Fail, SwitchOnTerm, SwitchOnConst,
+		SwitchOnStruct, Try, Retry, Trust, Halt, HaltFail:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package machine
+
+// Costs is the microcycle cost table of the KCM engine. The anchors
+// come straight from the paper: one cycle for data-manipulation
+// instructions (the register file, ALUs and caches all run in the
+// 80 ns cycle), two cycles for immediate jumps and calls (one
+// prefetch pipeline break), one/four cycles for untaken/taken
+// conditional branches, a five-cycle minimum call/return sequence,
+// one reference per cycle when dereferencing, and trail checks free
+// because the trail comparators work in parallel. Cache misses are
+// accounted separately by the memory system.
+type Costs struct {
+	Move           int // register moves, loads of constants
+	GetConst       int
+	GetListRead    int
+	GetListWrite   int
+	GetStructRead  int
+	GetStructWrite int
+	UnifyRead      int // unify_* in read mode (one S access)
+	UnifyWrite     int // unify_* in write mode (one H push)
+	PutVar         int
+	PutUnsafe      int
+	Call           int // immediate branch + linkage
+	Execute        int
+	Proceed        int // return: pipeline break
+	Allocate       int
+	Deallocate     int
+	TryShallow     int // shadow-register save (try/retry, shallow mode)
+	TrustOp        int
+	NeckDet        int // neck with no pending alternatives
+	NeckCP         int // neck creating a choice point, plus per-word cost
+	CPWord         int // per saved/restored word (RAC loop: 1/cycle)
+	SwitchTerm     int // MWAC 16-way branch
+	SwitchTable    int // constant/structure table dispatch
+	Cut            int
+	FailShallow    int // branch to the alternative
+	FailDeep       int // branch + state restore setup
+	TrailPush      int
+	TrailCheckSW   int // per check when the parallel comparators are disabled
+	DerefStep      int // per link with the dereference hardware
+	DerefStepSW    int // per link without it
+	ArithOp        int
+	MulOp          int
+	DivOp          int
+	Compare        int // untaken conditional branch
+	CompareTaken   int // additional cycles when the branch is taken
+	TestOp         int
+	IdentNode      int // per node of ==/\== comparison
+	UnifyNode      int // per node of general unification
+	BuiltinEsc     int // write/nl protocol cost (unit clause, 5 cycles)
+	Halt           int
+}
+
+// Defaults is the calibrated KCM cost table. With it, one steady
+// concat step (switch, get_list read, two unify reads, get_list
+// write, unify write x2, execute) is 15 cycles = 833 Klips peak.
+var Defaults = Costs{
+	Move:           1,
+	GetConst:       1,
+	GetListRead:    2,
+	GetListWrite:   3,
+	GetStructRead:  2,
+	GetStructWrite: 4,
+	UnifyRead:      1,
+	UnifyWrite:     1,
+	PutVar:         2,
+	PutUnsafe:      2,
+	Call:           2,
+	Execute:        2,
+	Proceed:        3,
+	Allocate:       4,
+	Deallocate:     3,
+	TryShallow:     3,
+	TrustOp:        3,
+	NeckDet:        1,
+	NeckCP:         3,
+	CPWord:         1,
+	SwitchTerm:     2,
+	SwitchTable:    4,
+	Cut:            2,
+	FailShallow:    5,
+	FailDeep:       8,
+	TrailPush:      1,
+	TrailCheckSW:   2,
+	DerefStep:      1,
+	DerefStepSW:    3,
+	ArithOp:        1,
+	MulOp:          34,
+	DivOp:          70,
+	Compare:        1,
+	CompareTaken:   3,
+	TestOp:         1,
+	IdentNode:      1,
+	UnifyNode:      2,
+	BuiltinEsc:     5,
+	Halt:           1,
+}
+
+func (m *Machine) cyc(n int) { m.stats.Cycles += uint64(n) }

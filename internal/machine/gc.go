@@ -1,0 +1,242 @@
+package machine
+
+import (
+	"repro/internal/word"
+)
+
+// Garbage collection for the global stack.
+//
+// The KCM data word reserves two GC bits and the zone-check unit is
+// explicitly designed to trigger collection when a stack crosses a
+// soft limit (section 3.2.3); the collector itself runs as machine
+// code. This implementation is the classic sliding mark-compact for
+// WAM heaps: it preserves cell order (so the H watermarks saved in
+// choice points and the trail remain meaningful after forwarding) and
+// compacts in place.
+//
+// Collection happens at call boundaries, where the machine state is
+// minimal: the S register is dead, the shallow flag is clear, and the
+// live roots are exactly the argument registers, the environment
+// chains, the choice-point frames and the trail.
+
+// GCStats counts collector activity.
+type GCStats struct {
+	Collections uint64
+	LiveWords   uint64
+	FreedWords  uint64
+	Cycles      uint64
+}
+
+// gcCyclesPerWord is the modelled software cost of scanning and
+// moving one word during collection (mark + update + slide).
+const gcCyclesPerWord = 4
+
+// maybeGC runs a collection when the heap has grown past the
+// configured threshold. Called at call/execute boundaries.
+func (m *Machine) maybeGC() {
+	if m.gcThreshold == 0 || m.h < m.cfg.GlobalBase+m.gcThreshold {
+		return
+	}
+	m.collect()
+}
+
+// collect performs one sliding mark-compact collection of
+// [GlobalBase, H).
+func (m *Machine) collect() {
+	base := m.cfg.GlobalBase
+	used := m.h - base
+	if used == 0 {
+		return
+	}
+	live := make([]bool, used)
+
+	inHeap := func(a uint32) bool { return a >= base && a < m.h }
+
+	// markWord marks the object a data word points to, transitively.
+	var stack []word.Word
+	markWord := func(w word.Word) {
+		stack = append(stack, w)
+	}
+	drain := func() {
+		for len(stack) > 0 {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			var blockStart, blockLen uint32
+			switch w.Type() {
+			case word.TRef, word.TDataPtr:
+				if w.Zone() != word.ZGlobal || !inHeap(w.Addr()) {
+					continue
+				}
+				blockStart, blockLen = w.Addr(), 1
+			case word.TList:
+				if !inHeap(w.Addr()) {
+					continue
+				}
+				blockStart, blockLen = w.Addr(), 2
+			case word.TStruct:
+				if !inHeap(w.Addr()) {
+					continue
+				}
+				f := m.peek(word.ZGlobal, w.Addr())
+				if f.Type() != word.TFunc {
+					continue
+				}
+				blockStart, blockLen = w.Addr(), uint32(f.FunctorArity())+1
+			default:
+				continue
+			}
+			if blockStart+blockLen > m.h {
+				continue // stale pointer beyond the heap top
+			}
+			// No block-level early-out: a stale register may have
+			// marked a prefix of this block as a smaller object, and
+			// the remaining cells must still be traced. The per-cell
+			// guard below keeps the walk terminating even on cyclic
+			// terms.
+			for i := uint32(0); i < blockLen; i++ {
+				if !live[blockStart-base+i] {
+					live[blockStart-base+i] = true
+					c := m.peek(word.ZGlobal, blockStart+i)
+					if c.Type().Pointer() {
+						stack = append(stack, c)
+					}
+				}
+			}
+		}
+	}
+
+	// Roots: the register file.
+	for _, w := range m.regs {
+		markWord(w)
+	}
+	// Environment chains: the current one and every choice-point one.
+	markEnvChain := func(e uint32) {
+		for e != 0 {
+			size := m.peek(word.ZLocal, e+2).Value()
+			for i := uint32(0); i < size; i++ {
+				markWord(m.peek(word.ZLocal, e+envHeader+i))
+			}
+			e = m.peek(word.ZLocal, e).Value()
+		}
+	}
+	markEnvChain(m.e)
+	// Choice points: saved argument registers and environments.
+	for b := m.b; b != 0; {
+		arity := m.peek(word.ZChoice, b+cpArity).Value()
+		for i := uint32(0); i < arity; i++ {
+			markWord(m.peek(word.ZChoice, b+cpHeader+i))
+		}
+		markEnvChain(m.peek(word.ZChoice, b+cpE).Value())
+		b = m.peek(word.ZChoice, b+cpPrev).Value()
+	}
+	// Trail entries keep their cells alive (the reset on backtracking
+	// must find them).
+	for tr := m.cfg.TrailBase; tr < m.tr; tr++ {
+		markWord(m.peek(word.ZTrail, tr))
+	}
+	drain()
+
+	// Forwarding: the new address of heap word i is base + the number
+	// of live words below it (prefix sums keep cell order, which the
+	// watermarks rely on).
+	forward := make([]uint32, used+1)
+	n := uint32(0)
+	for i := uint32(0); i < used; i++ {
+		forward[i] = base + n
+		if live[i] {
+			n++
+		}
+	}
+	forward[used] = base + n
+
+	fwdAddr := func(a uint32) uint32 {
+		if !inHeap(a) {
+			return a
+		}
+		return forward[a-base]
+	}
+	fwdWord := func(w word.Word) word.Word {
+		switch w.Type() {
+		case word.TRef, word.TDataPtr:
+			if w.Zone() == word.ZGlobal && inHeap(w.Addr()) {
+				return w.WithValue(fwdAddr(w.Addr()))
+			}
+		case word.TList, word.TStruct:
+			if inHeap(w.Addr()) {
+				return w.WithValue(fwdAddr(w.Addr()))
+			}
+		}
+		return w
+	}
+
+	// Update roots.
+	for i, w := range m.regs {
+		m.regs[i] = fwdWord(w)
+	}
+	// Environment frames are shared between the current E chain and
+	// the chains hanging off choice points; each frame must be
+	// rewritten exactly once or its pointers get forwarded twice.
+	updated := make(map[uint32]bool)
+	updEnvChain := func(e uint32) {
+		for e != 0 && !updated[e] {
+			updated[e] = true
+			size := m.peek(word.ZLocal, e+2).Value()
+			for i := uint32(0); i < size; i++ {
+				a := e + envHeader + i
+				m.poke(word.ZLocal, a, fwdWord(m.peek(word.ZLocal, a)))
+			}
+			e = m.peek(word.ZLocal, e).Value()
+		}
+	}
+	updEnvChain(m.e)
+	for b := m.b; b != 0; {
+		arity := m.peek(word.ZChoice, b+cpArity).Value()
+		for i := uint32(0); i < arity; i++ {
+			a := b + cpHeader + i
+			m.poke(word.ZChoice, a, fwdWord(m.peek(word.ZChoice, a)))
+		}
+		// Saved H watermarks move with the prefix map.
+		hw := m.peek(word.ZChoice, b+cpH)
+		m.poke(word.ZChoice, b+cpH, hw.WithValue(fwdAddr(hw.Value())))
+		updEnvChain(m.peek(word.ZChoice, b+cpE).Value())
+		b = m.peek(word.ZChoice, b+cpPrev).Value()
+	}
+	for tr := m.cfg.TrailBase; tr < m.tr; tr++ {
+		m.poke(word.ZTrail, tr, fwdWord(m.peek(word.ZTrail, tr)))
+	}
+	m.hb = fwdAddr(m.hb)
+	m.shadowH = fwdAddr(m.shadowH)
+	// m.bLTOP is a local-stack address: the collector never moves the
+	// local stack, so it stays put.
+
+	// Slide the live cells down, rewriting their pointer contents.
+	for i := uint32(0); i < used; i++ {
+		if !live[i] {
+			continue
+		}
+		w := m.peek(word.ZGlobal, base+i)
+		m.poke(word.ZGlobal, forward[i], fwdWord(w))
+	}
+	newTop := forward[used]
+	freed := m.h - newTop
+	m.h = newTop
+
+	m.gcStats.Collections++
+	m.gcStats.LiveWords += uint64(n)
+	m.gcStats.FreedWords += uint64(freed)
+	cost := uint64(used) * gcCyclesPerWord
+	m.gcStats.Cycles += cost
+	m.stats.Cycles += cost
+}
+
+// poke writes a data word bypassing timing but staying coherent with
+// the cache (the collector runs as privileged machine code; its
+// traffic is charged in bulk by gcCyclesPerWord).
+func (m *Machine) poke(z word.Zone, a uint32, w word.Word) {
+	if _, err := m.dcache.Write(a, z, w); err != nil && m.err == nil {
+		m.err = err
+	}
+}
+
+// GCStats returns the collector counters.
+func (m *Machine) GCStats() GCStats { return m.gcStats }

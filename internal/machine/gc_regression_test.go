@@ -1,0 +1,79 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/kcmisa"
+	"repro/internal/word"
+)
+
+// TestGCSharedEnvironmentChains is the white-box regression test for
+// the double-forwarding bug: the query environment is reachable both
+// through the current E chain and through choice-point frames, and a
+// collection must rewrite it exactly once.
+func TestGCSharedEnvironmentChains(t *testing.T) {
+	im := buildImage(t, nrevSrc, "mklist(5, L), nrev(L, R), nrev(R, _RR).")
+	m, err := New(im, Config{GCThresholdWords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find R's slot.
+	rSlot, ok := im.QueryVars["R"]
+	if !ok {
+		t.Fatal("no R slot")
+	}
+	entry, _ := im.Entry(compiler.QueryPI)
+
+	// Instrument: wrap collect with dumps by running manually.
+	m.bootstrap(entry)
+	dumpR := func(when string) {
+		if m.e == 0 {
+			return
+		}
+		// Query env is the bottom of the E chain.
+		e := m.e
+		for {
+			ce := m.peek(word.ZLocal, e).Value()
+			if ce == 0 {
+				break
+			}
+			e = ce
+		}
+		w := m.peek(word.ZLocal, e+envHeader+uint32(rSlot))
+		fmt.Printf("%s: R cell=%v -> %v\n", when, w, m.readTerm(w, 50))
+	}
+	steps := 0
+	for !m.halted && m.err == nil && steps < 100000 {
+		steps++
+		in, nw := kcmisa.Decode(m.fetchCode, m.p)
+		m.p += uint32(nw)
+		preGC := m.gcStats.Collections
+		preH := m.h
+		m.stats.Instrs++
+		m.exec(in)
+		if m.gcStats.Collections != preGC && testing.Verbose() {
+			dumpR(fmt.Sprintf("after GC #%d (preH=%#x h=%#x)", m.gcStats.Collections, preH, m.h))
+		}
+	}
+	if m.err != nil {
+		t.Fatal(m.err)
+	}
+	if m.gcStats.Collections == 0 {
+		t.Fatal("no collection happened")
+	}
+	// R must still read back as the full reversed list.
+	e := m.e
+	for {
+		ce := m.peek(word.ZLocal, e).Value()
+		if ce == 0 {
+			break
+		}
+		e = ce
+	}
+	w := m.peek(word.ZLocal, e+envHeader+uint32(rSlot))
+	if got := m.readTerm(w, 50).String(); got != "[1,2,3,4,5]" {
+		t.Fatalf("R corrupted by GC: %s", got)
+	}
+}

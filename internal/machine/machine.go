@@ -1,0 +1,400 @@
+// Package machine implements the KCM processor simulator: a 64-bit
+// tagged architecture executing encoded instruction words fetched
+// through the logical code cache, with data traffic through the
+// zone-split copy-back data cache and the RAM-page-table MMU. The
+// simulator is cycle-accounted at the level the paper reports:
+// per-instruction microcycle costs, dereference steps, branch and
+// pipeline-break penalties, and cache-miss penalties.
+package machine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/kcmisa"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// Default zone base addresses (word addresses in the data space).
+// They are configurable so the cache-collision study can place stack
+// tops on colliding or non-colliding cache indices.
+const (
+	DefGlobalBase = 0x0010000
+	DefGlobalSize = 0x0200000
+	DefLocalBase  = 0x0400000
+	DefLocalSize  = 0x0100000
+	DefChoiceBase = 0x0800000
+	DefChoiceSize = 0x0080000
+	DefTrailBase  = 0x0C00000
+	DefTrailSize  = 0x0080000
+)
+
+// Config selects machine features; the zero value is completed to the
+// paper configuration by New.
+type Config struct {
+	// Zone placement (words). Zero values select the defaults.
+	GlobalBase, GlobalSize uint32
+	LocalBase, LocalSize   uint32
+	ChoiceBase, ChoiceSize uint32
+	TrailBase, TrailSize   uint32
+
+	// SplitDataCache selects the 8-section zone-indexed data cache
+	// (the KCM design). When false the cache is a plain direct-mapped
+	// 8K, the configuration of the stack-collision experiment.
+	SplitDataCache *bool
+
+	// Shallow enables delayed choice-point creation (shallow
+	// backtracking). Disabling it makes every try/retry materialise a
+	// full choice point immediately, the standard-WAM baseline of the
+	// ablation study.
+	Shallow *bool
+
+	// HWDeref models the dereference hardware (one reference per
+	// cycle). Disabled, each step costs the software-loop equivalent.
+	HWDeref *bool
+
+	// HWTrail models the parallel trail-check comparators. Disabled,
+	// each trail check costs explicit compare cycles.
+	HWTrail *bool
+
+	// CodePrefetch is the number of words prefetched on a code-cache
+	// miss (page mode); -1 selects the default.
+	CodePrefetch int
+
+	// MemWords is the physical memory size; 0 selects one board.
+	MemWords uint32
+
+	// Out receives the output of write/1 and nl/0.
+	Out io.Writer
+
+	// MaxSteps bounds execution (0: 1e9 instructions).
+	MaxSteps uint64
+
+	// CycleNs is the cycle time in nanoseconds (0: the KCM's 80 ns).
+	// Baseline cost models reuse the engine with their own clock.
+	CycleNs float64
+
+	// Trace, when non-nil, receives one line per executed instruction
+	// (the macrocode monitor of the paper's tool set).
+	Trace io.Writer
+
+	// Costs overrides the microcycle cost table (nil: Defaults).
+	Costs *Costs
+
+	// GCThresholdWords enables the sliding mark-compact collector on
+	// the global stack: when the heap grows past this many words, the
+	// next call boundary collects. 0 disables (the benchmark suite
+	// never needs it; the zone check traps on genuine exhaustion).
+	GCThresholdWords uint32
+
+	// Profile enables the per-predicate cycle monitor (see Profile).
+	Profile bool
+}
+
+func boolDefault(p *bool, d bool) bool {
+	if p == nil {
+		return d
+	}
+	return *p
+}
+
+// On and Off are convenience pointers for Config flags.
+var (
+	onv  = true
+	offv = false
+	On   = &onv
+	Off  = &offv
+)
+
+// Stats are the run-time counters the evaluation section reports.
+type Stats struct {
+	NsPerCycle   float64
+	Cycles       uint64
+	Instrs       uint64
+	Inferences   uint64 // source-level goal invocations (Klips basis)
+	DerefSteps   uint64
+	UnifyNodes   uint64
+	TrailChecks  uint64
+	TrailPushes  uint64
+	ShallowTries uint64 // clause entries in shallow mode
+	ShallowFails uint64
+	DeepFails    uint64
+	ChoicePoints uint64 // materialised at necks
+	NeckUpdates  uint64 // existing choice point retargeted at a neck
+	NeckDet      uint64 // necks passed with no alternatives left
+	EnvAllocs    uint64
+	Builtins     uint64
+	CPWords      uint64 // words written saving choice points
+}
+
+// Seconds converts the cycle count to seconds at the configured
+// cycle time (80 ns for KCM).
+func (s Stats) Seconds() float64 {
+	ns := s.NsPerCycle
+	if ns == 0 {
+		ns = 80
+	}
+	return float64(s.Cycles) * ns * 1e-9
+}
+
+// Millis returns the run time in milliseconds, the unit of Tables
+// 2 and 3.
+func (s Stats) Millis() float64 { return s.Seconds() * 1e3 }
+
+// Klips returns kilo logical inferences per second.
+func (s Stats) Klips() float64 {
+	sec := s.Seconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(s.Inferences) / sec / 1000
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	Success  bool
+	Stats    Stats
+	Bindings map[term.Var]term.Term
+	DCache   cache.Stats
+	CCache   cache.Stats
+	Mem      mem.Stats
+	DataMMU  mmu.Stats
+	Profile  []ProfileRow // non-nil when Config.Profile is set
+	GC       GCStats
+}
+
+// Machine is one KCM processor with its private memory.
+type Machine struct {
+	cfg   Config
+	costs Costs
+	syms  *term.SymTab
+
+	phys   *mem.Memory
+	dmmu   *mmu.MMU
+	cmmu   *mmu.MMU
+	dcache *cache.Data
+	icache *cache.Code
+
+	codeTop uint32
+
+	// Register file and machine registers.
+	regs [kcmisa.NumRegs]word.Word
+	p    uint32 // program counter
+	cp   uint32 // continuation pointer (code)
+	e    uint32 // current environment (0 = none)
+	b    uint32 // top choice point
+	b0   uint32 // cut barrier
+	h    uint32 // global stack top
+	hb   uint32 // heap backtrack point
+	tr   uint32 // trail top
+	s    uint32 // structure pointer
+	mode bool   // true = write mode
+
+	// Shallow-backtracking state: the shadow registers and flags.
+	sf         bool // shallow flag
+	cf         bool // choice-point flag
+	shadowH    uint32
+	shadowTR   uint32
+	shadowNext int
+
+	bLTOP uint32 // cached local-stack top of the current choice point
+
+	shallow bool
+	hwDeref bool
+	hwTrail bool
+
+	halted bool
+	failed bool
+	err    error
+
+	out   io.Writer
+	stats Stats
+
+	// pdl is the unification push-down list.
+	pdl []word.Word
+
+	gcThreshold uint32
+	gcStats     GCStats
+	prof        *profiler
+
+	// preds is the runtime predicate table for the meta-call escape:
+	// (atom index, arity) -> code entry.
+	preds map[uint64]uint32
+}
+
+// New builds a machine and loads the linked image into its code
+// space.
+func New(im *asm.Image, cfg Config) (*Machine, error) {
+	if cfg.GlobalBase == 0 {
+		cfg.GlobalBase, cfg.GlobalSize = DefGlobalBase, DefGlobalSize
+	}
+	if cfg.LocalBase == 0 {
+		cfg.LocalBase, cfg.LocalSize = DefLocalBase, DefLocalSize
+	}
+	if cfg.ChoiceBase == 0 {
+		cfg.ChoiceBase, cfg.ChoiceSize = DefChoiceBase, DefChoiceSize
+	}
+	if cfg.TrailBase == 0 {
+		cfg.TrailBase, cfg.TrailSize = DefTrailBase, DefTrailSize
+	}
+	if cfg.MemWords == 0 {
+		cfg.MemWords = mem.BoardWords
+	}
+	if cfg.CodePrefetch < 0 {
+		cfg.CodePrefetch = 3
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 1_000_000_000
+	}
+	costs := Defaults
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	m := &Machine{
+		cfg:     cfg,
+		costs:   costs,
+		syms:    im.Syms,
+		out:     cfg.Out,
+		shallow: boolDefault(cfg.Shallow, true),
+		hwDeref: boolDefault(cfg.HWDeref, true),
+		hwTrail: boolDefault(cfg.HWTrail, true),
+	}
+	m.gcThreshold = cfg.GCThresholdWords
+	if cfg.Profile {
+		m.prof = newProfiler(im)
+	}
+	m.preds = map[uint64]uint32{}
+	for pi, a := range im.Entries {
+		if idx, ok := im.Syms.Lookup(pi.Name); ok {
+			m.preds[uint64(idx)<<8|uint64(pi.Arity)] = a
+		}
+	}
+	m.phys = mem.New(cfg.MemWords)
+	// The two address spaces draw physical frames from one pool.
+	frames := mmu.NewFrameAlloc(m.phys)
+	m.cmmu = mmu.New(m.phys, frames)
+	m.dmmu = mmu.New(m.phys, frames)
+	m.dcache = cache.NewData(m.dmmu, boolDefault(cfg.SplitDataCache, true))
+	m.icache = cache.NewCode(m.cmmu, cfg.CodePrefetch)
+	m.installZones()
+	// Load the image through the code MMU (batch mode, untimed).
+	for a, w := range im.Code {
+		if _, err := m.cmmu.Write(uint32(a), w); err != nil {
+			return nil, fmt.Errorf("machine: loading code: %w", err)
+		}
+	}
+	m.codeTop = uint32(len(im.Code))
+	return m, nil
+}
+
+func (m *Machine) installZones() {
+	c := m.cfg
+	refPtr := mmu.TypeMask(word.TRef, word.TDataPtr)
+	m.dmmu.SetZone(word.ZGlobal, mmu.Zone{
+		Start: c.GlobalBase, End: c.GlobalBase + c.GlobalSize,
+		AllowedTypes: mmu.TypeMask(word.TRef, word.TDataPtr, word.TList, word.TStruct),
+	})
+	m.dmmu.SetZone(word.ZLocal, mmu.Zone{
+		Start: c.LocalBase, End: c.LocalBase + c.LocalSize,
+		AllowedTypes: refPtr | mmu.TypeMask(word.TEnvPtr),
+	})
+	m.dmmu.SetZone(word.ZChoice, mmu.Zone{
+		Start: c.ChoiceBase, End: c.ChoiceBase + c.ChoiceSize,
+		AllowedTypes: mmu.TypeMask(word.TDataPtr, word.TChpPtr),
+	})
+	m.dmmu.SetZone(word.ZTrail, mmu.Zone{
+		Start: c.TrailBase, End: c.TrailBase + c.TrailSize,
+		AllowedTypes: mmu.TypeMask(word.TDataPtr, word.TTrailPtr),
+	})
+	m.cmmu.SetZone(word.ZCode, mmu.Zone{
+		Start: 0, End: 1 << 28,
+		AllowedTypes: mmu.TypeMask(word.TCodePtr),
+	})
+}
+
+// Syms exposes the symbol table (for output formatting in tools).
+func (m *Machine) Syms() *term.SymTab { return m.syms }
+
+// Stats returns the counters accumulated so far.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ---- data-space access paths ----
+
+// readData reads through zone check and data cache using a tagged
+// address word.
+func (m *Machine) readData(addr word.Word) (word.Word, bool) {
+	if err := m.dmmu.Check(addr, false); err != nil {
+		m.err = err
+		return 0, false
+	}
+	w, cost, err := m.dcache.Read(addr.Value(), addr.Zone())
+	m.stats.Cycles += uint64(cost)
+	if err != nil {
+		m.err = err
+		return 0, false
+	}
+	return w, true
+}
+
+// writeData writes through zone check and data cache.
+func (m *Machine) writeData(addr word.Word, w word.Word) bool {
+	if err := m.dmmu.Check(addr, true); err != nil {
+		m.err = err
+		return false
+	}
+	cost, err := m.dcache.Write(addr.Value(), addr.Zone(), w)
+	m.stats.Cycles += uint64(cost)
+	if err != nil {
+		m.err = err
+		return false
+	}
+	return true
+}
+
+// rd / wr are internal helpers addressing a zone directly.
+func (m *Machine) rd(z word.Zone, a uint32) (word.Word, bool) {
+	return m.readData(word.DataPtr(z, a))
+}
+
+func (m *Machine) wr(z word.Zone, a uint32, w word.Word) bool {
+	return m.writeData(word.DataPtr(z, a), w)
+}
+
+// fetchCode reads a code word through the instruction cache.
+func (m *Machine) fetchCode(a uint32) word.Word {
+	w, cost, err := m.icache.Read(a)
+	m.stats.Cycles += uint64(cost)
+	if err != nil && m.err == nil {
+		m.err = err
+	}
+	return w
+}
+
+func (m *Machine) errf(format string, args ...any) {
+	if m.err == nil {
+		m.err = fmt.Errorf("machine: P=%d: %s", m.p, fmt.Sprintf(format, args...))
+	}
+}
+
+// ResetStats clears every run-time counter while keeping the memory
+// system warm (cache and page-table contents survive). The benchmark
+// harness uses it to reproduce the paper's best-of-several-runs
+// protocol: time a second execution with warm caches.
+func (m *Machine) ResetStats() {
+	m.stats = Stats{}
+	m.dcache.ResetStats()
+	m.icache.ResetStats()
+	m.phys.ResetStats()
+	m.dmmu.ResetStats()
+	m.cmmu.ResetStats()
+	m.halted = false
+	m.failed = false
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/term"
+)
+
+// The Prolog-level monitor of the paper's tool set: cycles and
+// instructions attributed to the predicate whose code is executing,
+// resolved statelessly by the instruction address (so backtracking
+// and last-call optimisation need no shadow stack).
+
+// profEntry is one predicate's code range and counters.
+type profEntry struct {
+	pi     term.Indicator
+	start  uint32
+	cycles uint64
+	instrs uint64
+}
+
+// profiler maps instruction addresses to predicates.
+type profiler struct {
+	entries []profEntry // sorted by start address
+}
+
+// newProfiler builds the address map from a linked image.
+func newProfiler(im *asm.Image) *profiler {
+	p := &profiler{}
+	for pi, a := range im.Entries {
+		p.entries = append(p.entries, profEntry{pi: pi, start: a})
+	}
+	sort.Slice(p.entries, func(i, j int) bool { return p.entries[i].start < p.entries[j].start })
+	return p
+}
+
+// locate returns the index of the predicate containing addr.
+func (p *profiler) locate(addr uint32) int {
+	i := sort.Search(len(p.entries), func(i int) bool { return p.entries[i].start > addr })
+	return i - 1 // -1 for the bootstrap word at address 0
+}
+
+// account attributes one instruction's cycles.
+func (p *profiler) account(addr uint32, cycles uint64) {
+	if i := p.locate(addr); i >= 0 {
+		p.entries[i].cycles += cycles
+		p.entries[i].instrs++
+	}
+}
+
+// ProfileRow is one line of the predicate profile.
+type ProfileRow struct {
+	Pred   term.Indicator
+	Cycles uint64
+	Instrs uint64
+}
+
+// Profile returns the per-predicate cycle attribution, heaviest
+// first. The machine must have been created with Config.Profile on.
+func (m *Machine) Profile() []ProfileRow {
+	if m.prof == nil {
+		return nil
+	}
+	var rows []ProfileRow
+	for _, e := range m.prof.entries {
+		if e.instrs == 0 {
+			continue
+		}
+		rows = append(rows, ProfileRow{Pred: e.pi, Cycles: e.cycles, Instrs: e.instrs})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Cycles > rows[j].Cycles })
+	return rows
+}
+
+// RenderProfile formats a profile like the paper's monitors would.
+func RenderProfile(rows []ProfileRow, totalCycles uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %8s %12s\n", "predicate", "cycles", "%", "instructions")
+	for _, r := range rows {
+		pct := 0.0
+		if totalCycles > 0 {
+			pct = float64(r.Cycles) / float64(totalCycles) * 100
+		}
+		fmt.Fprintf(&b, "%-24v %12d %7.1f%% %12d\n", r.Pred, r.Cycles, pct, r.Instrs)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/term"
+)
+
+func TestProfileAttributesCycles(t *testing.T) {
+	src := `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+mklist(0, []).
+mklist(N, [N|T]) :- N > 0, M is N - 1, mklist(M, T).
+`
+	im := buildImage(t, src, "mklist(25, L), nrev(L, _R).")
+	m, err := New(im, Config{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := im.Entry(compiler.QueryPI)
+	res, err := m.Run(entry)
+	if err != nil || !res.Success {
+		t.Fatal(err)
+	}
+	rows := m.Profile()
+	if len(rows) < 3 {
+		t.Fatalf("profile too small: %v", rows)
+	}
+	// In naive reverse, append dominates (quadratic); it must rank
+	// first and hold the majority of cycles.
+	if rows[0].Pred != term.Ind("app", 3) {
+		t.Fatalf("heaviest predicate is %v, want app/3\n%s",
+			rows[0].Pred, RenderProfile(rows, res.Stats.Cycles))
+	}
+	var sum uint64
+	for _, r := range rows {
+		sum += r.Cycles
+	}
+	// Everything except fail-dispatch bookkeeping is attributed.
+	if sum > res.Stats.Cycles || float64(sum) < 0.9*float64(res.Stats.Cycles) {
+		t.Fatalf("attributed %d of %d cycles", sum, res.Stats.Cycles)
+	}
+	out := RenderProfile(rows, res.Stats.Cycles)
+	if out == "" || len(rows) != len(m.Profile()) {
+		t.Fatal("render/stability broken")
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestProfileDisabled(t *testing.T) {
+	im := buildImage(t, "ok.\n", "ok.")
+	m, err := New(im, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := im.Entry(compiler.QueryPI)
+	if _, err := m.Run(entry); err != nil {
+		t.Fatal(err)
+	}
+	if m.Profile() != nil {
+		t.Fatal("profile must be nil when disabled")
+	}
+}
+
+func TestProfilerLocate(t *testing.T) {
+	im := buildImage(t, "a.\nb :- a.\n", "b.")
+	p := newProfiler(im)
+	for pi, addr := range im.Entries {
+		if i := p.locate(addr); i < 0 || p.entries[i].pi != pi {
+			t.Errorf("locate(%d) missed %v", addr, pi)
+		}
+	}
+	if p.locate(0) != -1 {
+		t.Error("bootstrap word must attribute to no predicate")
+	}
+	_ = asm.Base
+}

@@ -1,0 +1,455 @@
+package machine
+
+import (
+	"repro/internal/word"
+)
+
+// ---- dereferencing ----
+
+// deref follows a reference chain to its end: an unbound cell
+// (self-reference) or a non-reference value. The data cache's
+// hardwired reference detection follows one link per cycle.
+func (m *Machine) deref(w word.Word) word.Word {
+	for w.IsRef() {
+		v, ok := m.readData(w)
+		if !ok {
+			return w
+		}
+		m.stats.DerefSteps++
+		if m.hwDeref {
+			m.cyc(m.costs.DerefStep)
+		} else {
+			m.cyc(m.costs.DerefStepSW)
+		}
+		if v == w || !v.IsRef() {
+			if v.IsRef() {
+				return v // unbound
+			}
+			return v
+		}
+		w = v
+	}
+	return w
+}
+
+// ---- binding and trailing ----
+
+// trailIf pushes the bound cell's address onto the trail when the
+// cell is older than the current choice point. The three comparisons
+// run in parallel with dereferencing on the real machine, so the
+// check itself is free unless the trail hardware is disabled.
+func (m *Machine) trailIf(ref word.Word) bool {
+	m.stats.TrailChecks++
+	if !m.hwTrail {
+		m.cyc(m.costs.TrailCheckSW)
+	}
+	var need bool
+	switch ref.Zone() {
+	case word.ZGlobal:
+		need = ref.Addr() < m.hb
+	case word.ZLocal:
+		// In shallow mode every bound local cell predates the clause
+		// entry (no environment can be allocated before the neck), and
+		// a shallow fail restores nothing but the trail, so the
+		// binding must always be recorded.
+		need = (m.sf && m.shallow) || ref.Addr() < m.bLTOP
+	}
+	if !need {
+		return true
+	}
+	m.stats.TrailPushes++
+	m.cyc(m.costs.TrailPush)
+	if !m.wr(word.ZTrail, m.tr, ref) {
+		return false
+	}
+	m.tr++
+	return true
+}
+
+// bind stores val into the unbound cell designated by ref and trails
+// the binding if needed.
+func (m *Machine) bind(ref, val word.Word) bool {
+	if !m.writeData(ref, val) {
+		return false
+	}
+	return m.trailIf(ref)
+}
+
+// bindVars binds one unbound variable to another, local cells to
+// global ones and younger cells to older ones, so no reference ever
+// points from the global stack into the local stack and resets free
+// the younger cell first.
+func (m *Machine) bindVars(a, b word.Word) bool {
+	za, zb := a.Zone(), b.Zone()
+	switch {
+	case za == word.ZLocal && zb == word.ZGlobal:
+		return m.bind(a, b)
+	case za == word.ZGlobal && zb == word.ZLocal:
+		return m.bind(b, a)
+	default:
+		if a.Addr() >= b.Addr() {
+			return m.bind(a, b)
+		}
+		return m.bind(b, a)
+	}
+}
+
+// unwindTrail resets every binding recorded above "to".
+func (m *Machine) unwindTrail(to uint32) {
+	for m.tr > to {
+		m.tr--
+		entry, ok := m.rd(word.ZTrail, m.tr)
+		if !ok {
+			return
+		}
+		m.cyc(2) // read entry + reset cell
+		// Reset the cell to an unbound variable (self-reference).
+		if !m.writeData(entry, word.Ref(entry.Zone(), entry.Addr())) {
+			return
+		}
+	}
+}
+
+// ---- heap ----
+
+func (m *Machine) heapPush(w word.Word) bool {
+	if !m.wr(word.ZGlobal, m.h, w) {
+		return false
+	}
+	m.h++
+	return true
+}
+
+// newHeapVar pushes an unbound cell and returns the reference to it.
+func (m *Machine) newHeapVar() (word.Word, bool) {
+	r := word.Ref(word.ZGlobal, m.h)
+	if !m.heapPush(r) {
+		return 0, false
+	}
+	return r, true
+}
+
+// ---- general unification ----
+
+// sameConst compares two non-reference constants by type and value.
+func sameConst(a, b word.Word) bool {
+	return a.Type() == b.Type() && a.Value() == b.Value()
+}
+
+// unify performs full unification of two words using the push-down
+// list, at the microcoded cost of UnifyNode cycles per visited pair.
+// It returns (unified, machineOK).
+func (m *Machine) unify(a, b word.Word) (bool, bool) {
+	m.pdl = m.pdl[:0]
+	m.pdl = append(m.pdl, a, b)
+	for len(m.pdl) > 0 {
+		n := len(m.pdl)
+		a, b = m.pdl[n-2], m.pdl[n-1]
+		m.pdl = m.pdl[:n-2]
+		a, b = m.deref(a), m.deref(b)
+		if m.err != nil {
+			return false, false
+		}
+		m.stats.UnifyNodes++
+		m.cyc(m.costs.UnifyNode)
+		if a == b {
+			continue
+		}
+		aRef, bRef := a.IsRef(), b.IsRef()
+		switch {
+		case aRef && bRef:
+			if !m.bindVars(a, b) {
+				return false, false
+			}
+		case aRef:
+			if !m.bind(a, b) {
+				return false, false
+			}
+		case bRef:
+			if !m.bind(b, a) {
+				return false, false
+			}
+		default:
+			switch a.Type() {
+			case word.TAtom, word.TInt, word.TFloat, word.TNil:
+				if !sameConst(a, b) {
+					return false, true
+				}
+			case word.TList:
+				if b.Type() != word.TList {
+					return false, true
+				}
+				ah, ok1 := m.rd(word.ZGlobal, a.Addr())
+				at, ok2 := m.rd(word.ZGlobal, a.Addr()+1)
+				bh, ok3 := m.rd(word.ZGlobal, b.Addr())
+				bt, ok4 := m.rd(word.ZGlobal, b.Addr()+1)
+				if !(ok1 && ok2 && ok3 && ok4) {
+					return false, false
+				}
+				m.pdl = append(m.pdl, at, bt, ah, bh)
+			case word.TStruct:
+				if b.Type() != word.TStruct {
+					return false, true
+				}
+				af, ok1 := m.rd(word.ZGlobal, a.Addr())
+				bf, ok2 := m.rd(word.ZGlobal, b.Addr())
+				if !(ok1 && ok2) {
+					return false, false
+				}
+				if !sameConst(af, bf) {
+					return false, true
+				}
+				for i := af.FunctorArity(); i >= 1; i-- {
+					aa, ok1 := m.rd(word.ZGlobal, a.Addr()+uint32(i))
+					ba, ok2 := m.rd(word.ZGlobal, b.Addr()+uint32(i))
+					if !(ok1 && ok2) {
+						return false, false
+					}
+					m.pdl = append(m.pdl, aa, ba)
+				}
+			default:
+				m.errf("unify: bad word %v", a)
+				return false, false
+			}
+		}
+	}
+	return true, true
+}
+
+// identical implements ==/2: structural equality without binding.
+func (m *Machine) identical(a, b word.Word) (bool, bool) {
+	a, b = m.deref(a), m.deref(b)
+	if m.err != nil {
+		return false, false
+	}
+	m.cyc(m.costs.IdentNode)
+	if a == b {
+		return true, true
+	}
+	if a.IsRef() || b.IsRef() {
+		return false, true // distinct unbound variables
+	}
+	switch a.Type() {
+	case word.TList:
+		if b.Type() != word.TList {
+			return false, true
+		}
+		for i := uint32(0); i < 2; i++ {
+			aw, ok1 := m.rd(word.ZGlobal, a.Addr()+i)
+			bw, ok2 := m.rd(word.ZGlobal, b.Addr()+i)
+			if !(ok1 && ok2) {
+				return false, false
+			}
+			eq, ok := m.identical(aw, bw)
+			if !ok || !eq {
+				return eq, ok
+			}
+		}
+		return true, true
+	case word.TStruct:
+		if b.Type() != word.TStruct {
+			return false, true
+		}
+		af, ok1 := m.rd(word.ZGlobal, a.Addr())
+		bf, ok2 := m.rd(word.ZGlobal, b.Addr())
+		if !(ok1 && ok2) {
+			return false, false
+		}
+		if !sameConst(af, bf) {
+			return false, true
+		}
+		for i := 1; i <= af.FunctorArity(); i++ {
+			aw, ok1 := m.rd(word.ZGlobal, a.Addr()+uint32(i))
+			bw, ok2 := m.rd(word.ZGlobal, b.Addr()+uint32(i))
+			if !(ok1 && ok2) {
+				return false, false
+			}
+			eq, ok := m.identical(aw, bw)
+			if !ok || !eq {
+				return eq, ok
+			}
+		}
+		return true, true
+	default:
+		return sameConst(a, b), true
+	}
+}
+
+// ---- environments ----
+
+const envHeader = 3 // CE, CP, size
+
+// envTop computes the first free local-stack word: above the current
+// environment and above the local top protected by the current choice
+// point.
+func (m *Machine) envTop() uint32 {
+	lt := m.cfg.LocalBase
+	if m.e != 0 {
+		size, ok := m.rd(word.ZLocal, m.e+2)
+		if !ok {
+			return lt
+		}
+		lt = m.e + envHeader + size.Value()
+	}
+	if m.bLTOP > lt {
+		lt = m.bLTOP
+	}
+	return lt
+}
+
+func (m *Machine) yAddr(n int) word.Word {
+	return word.DataPtr(word.ZLocal, m.e+envHeader+uint32(n))
+}
+
+func (m *Machine) readY(n int) (word.Word, bool) {
+	return m.readData(m.yAddr(n))
+}
+
+func (m *Machine) writeY(n int, w word.Word) bool {
+	return m.writeData(m.yAddr(n), w)
+}
+
+// ---- choice points ----
+
+// Choice-point frame layout (about 10 words, as in the paper):
+// prevB, nextAlt, E, CP, H, TR, B0, LTOP, arity, A1..An.
+const (
+	cpPrev = iota
+	cpNext
+	cpE
+	cpCP
+	cpH
+	cpTR
+	cpB0
+	cpLTOP
+	cpArity
+	cpHeader // frame header size
+)
+
+func ptrOrZero(t word.Type, z word.Zone, v uint32) word.Word {
+	if v == 0 {
+		return word.Make(word.TImm, word.ZNone, 0)
+	}
+	return word.Make(t, z, v)
+}
+
+// pushCP materialises a choice point. savedH/savedTR are the values
+// captured at clause entry (the shadow registers), so a later deep
+// fail restores the entry state, not the state at the neck.
+func (m *Machine) pushCP(arity int, nextAlt uint32, savedH, savedTR uint32) bool {
+	top := m.cfg.ChoiceBase
+	if m.b != 0 {
+		ar, ok := m.rd(word.ZChoice, m.b+cpArity)
+		if !ok {
+			return false
+		}
+		top = m.b + cpHeader + ar.Value()
+	}
+	ltop := m.envTop()
+	frame := []word.Word{
+		ptrOrZero(word.TChpPtr, word.ZChoice, m.b),
+		word.CodePtr(nextAlt),
+		ptrOrZero(word.TEnvPtr, word.ZLocal, m.e),
+		word.CodePtr(m.cp),
+		word.DataPtr(word.ZGlobal, savedH),
+		word.Make(word.TTrailPtr, word.ZTrail, savedTR),
+		ptrOrZero(word.TChpPtr, word.ZChoice, m.b0),
+		word.DataPtr(word.ZLocal, ltop),
+		word.Make(word.TImm, word.ZNone, uint32(arity)),
+	}
+	for i, w := range frame {
+		if !m.wr(word.ZChoice, top+uint32(i), w) {
+			return false
+		}
+	}
+	for i := 1; i <= arity; i++ {
+		if !m.wr(word.ZChoice, top+cpHeader+uint32(i-1), m.regs[i]) {
+			return false
+		}
+	}
+	words := cpHeader + arity
+	m.cyc(m.costs.CPWord * words)
+	m.stats.CPWords += uint64(words)
+	m.stats.ChoicePoints++
+	m.b = top
+	m.bLTOP = ltop
+	m.hb = savedH
+	m.cf = true
+	return true
+}
+
+// reloadB refreshes the registers cached from the top choice point
+// after B changes (cut, trust).
+func (m *Machine) reloadB() bool {
+	hw, ok1 := m.rd(word.ZChoice, m.b+cpH)
+	lt, ok2 := m.rd(word.ZChoice, m.b+cpLTOP)
+	if !(ok1 && ok2) {
+		return false
+	}
+	m.hb = hw.Value()
+	m.bLTOP = lt.Value()
+	return true
+}
+
+// popCP discards the top choice point (trust).
+func (m *Machine) popCP() bool {
+	prev, ok := m.rd(word.ZChoice, m.b+cpPrev)
+	if !ok {
+		return false
+	}
+	m.b = prev.Value()
+	return m.reloadB()
+}
+
+// failDeep restores the machine state from the top choice point and
+// branches to its next alternative.
+func (m *Machine) failDeep() {
+	m.stats.DeepFails++
+	m.cyc(m.costs.FailDeep)
+	b := m.b
+	rd := func(off uint32) uint32 {
+		w, ok := m.rd(word.ZChoice, b+off)
+		if !ok {
+			return 0
+		}
+		return w.Value()
+	}
+	next := rd(cpNext)
+	m.e = rd(cpE)
+	m.cp = rd(cpCP)
+	savedH := rd(cpH)
+	savedTR := rd(cpTR)
+	m.b0 = rd(cpB0)
+	m.bLTOP = rd(cpLTOP)
+	arity := int(rd(cpArity))
+	for i := 1; i <= arity; i++ {
+		w, ok := m.rd(word.ZChoice, b+cpHeader+uint32(i-1))
+		if !ok {
+			return
+		}
+		m.regs[i] = w
+	}
+	m.cyc(m.costs.CPWord * (cpHeader + arity))
+	m.unwindTrail(savedTR)
+	m.h = savedH
+	m.hb = savedH
+	m.cf = true
+	m.sf = false
+	m.p = next
+}
+
+// fail dispatches a unification or test failure: a shallow fail
+// restores the three shadow registers and branches to the next
+// alternative; a deep fail restores the full choice point.
+func (m *Machine) fail() {
+	if m.sf && m.shallow {
+		m.stats.ShallowFails++
+		m.cyc(m.costs.FailShallow)
+		m.unwindTrail(m.shadowTR)
+		m.h = m.shadowH
+		m.p = uint32(m.shadowNext)
+		return
+	}
+	m.sf = false
+	m.failDeep()
+}

@@ -1,0 +1,84 @@
+// Package mem models the KCM main memory board: word-addressed
+// physical storage with page-mode access timing. One board holds
+// 32 MBytes (4M 64-bit words) of 1-Mbit DRAM; the data bus is 32 bits
+// wide and a fast page mode pairs two 32-bit accesses into one KCM
+// word, which is also used to prefetch ahead for the code cache.
+package mem
+
+import "repro/internal/word"
+
+// Timing constants in CPU cycles (80 ns). A random 64-bit access
+// costs First cycles; each further word in the same DRAM page costs
+// Page cycles (two 120 ns page-mode column accesses per 64-bit word).
+const (
+	FirstAccessCycles = 4
+	PageAccessCycles  = 1
+	// DRAMPageWords is the size of a DRAM row in 64-bit words, the
+	// window within which page mode applies.
+	DRAMPageWords = 256
+)
+
+// BoardWords is the capacity of one 32-MByte memory board in words.
+const BoardWords = 32 << 20 / 8
+
+// Memory is the physical memory: one or two boards.
+type Memory struct {
+	words []word.Word
+	stats Stats
+}
+
+// Stats counts physical memory traffic.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	PageHits   uint64 // accesses that fell in the open DRAM row
+	lastRow    uint32
+	hasLastRow bool
+}
+
+// New creates a memory of the given size in words (use BoardWords or
+// 2*BoardWords for the real configurations; tests may use less).
+func New(sizeWords uint32) *Memory {
+	return &Memory{words: make([]word.Word, sizeWords)}
+}
+
+// Size returns the capacity in words.
+func (m *Memory) Size() uint32 { return uint32(len(m.words)) }
+
+// Read returns the word at physical address pa together with its
+// access cost in cycles.
+func (m *Memory) Read(pa uint32) (word.Word, int) {
+	m.stats.Reads++
+	return m.words[pa], m.access(pa)
+}
+
+// Write stores w at pa and returns the access cost in cycles.
+func (m *Memory) Write(pa uint32, w word.Word) int {
+	m.stats.Writes++
+	m.words[pa] = w
+	return m.access(pa)
+}
+
+// Peek reads without touching statistics or timing (for diagnostics).
+func (m *Memory) Peek(pa uint32) word.Word { return m.words[pa] }
+
+func (m *Memory) access(pa uint32) int {
+	row := pa / DRAMPageWords
+	if m.stats.hasLastRow && row == m.stats.lastRow {
+		m.stats.PageHits++
+		return PageAccessCycles
+	}
+	m.stats.lastRow = row
+	m.stats.hasLastRow = true
+	return FirstAccessCycles
+}
+
+// Stats returns a copy of the traffic counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats clears the traffic counters (contents and the open-row
+// tracking stay).
+func (m *Memory) ResetStats() {
+	row, has := m.stats.lastRow, m.stats.hasLastRow
+	m.stats = Stats{lastRow: row, hasLastRow: has}
+}

@@ -1,0 +1,67 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestReadWrite(t *testing.T) {
+	m := New(1024)
+	if m.Size() != 1024 {
+		t.Fatalf("size %d", m.Size())
+	}
+	m.Write(7, word.FromInt(42))
+	w, _ := m.Read(7)
+	if w.Int() != 42 {
+		t.Fatalf("read back %v", w)
+	}
+	if m.Peek(7) != w {
+		t.Fatal("peek differs")
+	}
+}
+
+func TestPageModeTiming(t *testing.T) {
+	m := New(4 * DRAMPageWords)
+	// First access to a row is slow; subsequent ones in the same row
+	// fast.
+	_, c1 := m.Read(0)
+	_, c2 := m.Read(1)
+	_, c3 := m.Read(DRAMPageWords) // new row
+	_, c4 := m.Read(DRAMPageWords + 1)
+	if c1 != FirstAccessCycles || c3 != FirstAccessCycles {
+		t.Errorf("row-open accesses cost %d/%d, want %d", c1, c3, FirstAccessCycles)
+	}
+	if c2 != PageAccessCycles || c4 != PageAccessCycles {
+		t.Errorf("page-mode accesses cost %d/%d, want %d", c2, c4, PageAccessCycles)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	m := New(512)
+	m.Write(1, 0)
+	m.Read(1)
+	m.Read(2)
+	s := m.Stats()
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.PageHits != 2 { // all in row 0 after the first write opened it
+		t.Fatalf("page hits %d", s.PageHits)
+	}
+	m.ResetStats()
+	s = m.Stats()
+	if s.Reads != 0 || s.Writes != 0 || s.PageHits != 0 {
+		t.Fatalf("reset left %+v", s)
+	}
+	// Row tracking survives reset: the next same-row access stays fast.
+	if _, c := m.Read(3); c != PageAccessCycles {
+		t.Errorf("post-reset same-row access cost %d", c)
+	}
+}
+
+func TestBoardCapacity(t *testing.T) {
+	if BoardWords != 4*1024*1024 {
+		t.Fatalf("one 32-MB board should hold 4M words, got %d", BoardWords)
+	}
+}

@@ -1,0 +1,245 @@
+// Package mmu implements KCM's memory management: the RAM-resident
+// page table (no TLB needed — a plain 32K x 16 RAM holds one entry
+// per virtual page, affordable because the machine is single-task)
+// and the zone-check unit that verifies virtual addresses against
+// per-zone bounds and allowed data types before they reach the cache.
+package mmu
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/word"
+)
+
+// Page geometry: bits 27..14 of an address select the virtual page,
+// bits 13..0 the offset, i.e. 16K-word pages and 16K virtual pages
+// per address space.
+const (
+	PageBits  = 14
+	PageWords = 1 << PageBits
+	NumPages  = 1 << PageBits // 28-bit space / 14-bit offset
+	// addrMask keeps the 28 implemented address bits.
+	addrMask = 1<<28 - 1
+)
+
+// Trap is a memory-management fault: an access outside the
+// implemented address range, a zone violation, or a type not allowed
+// as an address into the zone.
+type Trap struct {
+	Addr word.Word
+	Why  string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("mmu trap: %v: %s", t.Addr, t.Why)
+}
+
+// Zone describes one virtual-memory zone: the address window it
+// spans, the set of data types allowed to point into it, and write
+// protection. Limits may be changed dynamically (the run-time system
+// moves them when stacks are resized).
+type Zone struct {
+	Start, End   uint32 // word addresses, [Start, End)
+	AllowedTypes uint16 // bitmask over word.Type
+	WriteProtect bool
+}
+
+// Allows reports whether a data type may address this zone.
+func (z Zone) Allows(t word.Type) bool { return z.AllowedTypes&(1<<t) != 0 }
+
+// TypeMask builds an allowed-type bitmask.
+func TypeMask(ts ...word.Type) uint16 {
+	var m uint16
+	for _, t := range ts {
+		m |= 1 << t
+	}
+	return m
+}
+
+// FrameAlloc hands out physical page frames. The code-space and
+// data-space MMUs share one allocator so a demand-paged frame is never
+// given to both.
+type FrameAlloc struct {
+	next uint32
+	max  uint32
+}
+
+// NewFrameAlloc creates an allocator over a memory of the given size.
+func NewFrameAlloc(m *mem.Memory) *FrameAlloc {
+	return &FrameAlloc{max: m.Size() / PageWords}
+}
+
+// Alloc returns the next free frame.
+func (a *FrameAlloc) Alloc() (uint32, bool) {
+	if a.next >= a.max {
+		return 0, false
+	}
+	f := a.next
+	a.next++
+	return f, true
+}
+
+// Allocated returns how many frames have been handed out.
+func (a *FrameAlloc) Allocated() uint32 { return a.next }
+
+// MMU is the address-translation and protection unit for one address
+// space (KCM has two: code and data, each with its own page table
+// half, sharing the physical frame pool).
+type MMU struct {
+	mem    *mem.Memory
+	table  [NumPages]int32 // -1 = unmapped, else physical frame
+	frames *FrameAlloc
+	zones  [16]Zone
+	stats  Stats
+}
+
+// Stats counts translation activity.
+type Stats struct {
+	Translations uint64
+	PageFaults   uint64 // demand-allocated pages (served by the host)
+	ZoneChecks   uint64
+	ZoneTraps    uint64
+}
+
+// New creates an MMU backed by physical memory, drawing frames from
+// the shared allocator (nil creates a private one).
+func New(m *mem.Memory, frames *FrameAlloc) *MMU {
+	if frames == nil {
+		frames = NewFrameAlloc(m)
+	}
+	u := &MMU{mem: m, frames: frames}
+	for i := range u.table {
+		u.table[i] = -1
+	}
+	return u
+}
+
+// SetZone installs the descriptor for zone z.
+func (u *MMU) SetZone(z word.Zone, d Zone) { u.zones[z] = d }
+
+// ZoneOf returns the descriptor for zone z.
+func (u *MMU) ZoneOf(z word.Zone) Zone { return u.zones[z] }
+
+// Check performs the zone check on a data word used as an address:
+// the unimplemented top address bits must be zero, the type must be
+// allowed in the zone, and the value must lie inside the zone's
+// limits. isWrite additionally enforces write protection. This check
+// happens at the logical level, before the cache, exactly because the
+// MMU is not involved when writing to a logical cache (section 3.2.3).
+func (u *MMU) Check(addr word.Word, isWrite bool) error {
+	u.stats.ZoneChecks++
+	a := addr.Value()
+	if a&^uint32(addrMask) != 0 {
+		u.stats.ZoneTraps++
+		return &Trap{addr, "address uses unimplemented bits"}
+	}
+	z := u.zones[addr.Zone()]
+	if z.End == z.Start {
+		u.stats.ZoneTraps++
+		return &Trap{addr, "unmapped zone"}
+	}
+	if !z.Allows(addr.Type()) {
+		u.stats.ZoneTraps++
+		return &Trap{addr, fmt.Sprintf("type %v not allowed as address into zone %v", addr.Type(), addr.Zone())}
+	}
+	if a < z.Start || a >= z.End {
+		u.stats.ZoneTraps++
+		return &Trap{addr, fmt.Sprintf("address outside zone %v limits [%#x,%#x)", addr.Zone(), z.Start, z.End)}
+	}
+	if isWrite && z.WriteProtect {
+		u.stats.ZoneTraps++
+		return &Trap{addr, "zone is write-protected"}
+	}
+	return nil
+}
+
+// Translate maps a virtual word address to a physical one, demand-
+// allocating a frame on first touch (the paging traffic itself is
+// served by the host and not part of the benchmark timing).
+func (u *MMU) Translate(va uint32) (uint32, error) {
+	u.stats.Translations++
+	vp := va >> PageBits
+	if vp >= NumPages {
+		return 0, &Trap{word.DataPtr(word.ZNone, va), "virtual page out of range"}
+	}
+	f := u.table[vp]
+	if f < 0 {
+		nf, ok := u.frames.Alloc()
+		if !ok {
+			return 0, &Trap{word.DataPtr(word.ZNone, va), "out of physical memory"}
+		}
+		u.table[vp] = int32(nf)
+		f = int32(nf)
+		u.stats.PageFaults++
+	}
+	return uint32(f)<<PageBits | va&(PageWords-1), nil
+}
+
+// Read translates and reads one word, returning the memory cost.
+func (u *MMU) Read(va uint32) (word.Word, int, error) {
+	pa, err := u.Translate(va)
+	if err != nil {
+		return 0, 0, err
+	}
+	w, c := u.mem.Read(pa)
+	return w, c, nil
+}
+
+// Write translates and writes one word, returning the memory cost.
+func (u *MMU) Write(va uint32, w word.Word) (int, error) {
+	pa, err := u.Translate(va)
+	if err != nil {
+		return 0, err
+	}
+	return u.mem.Write(pa, w), nil
+}
+
+// Stats returns a copy of the counters.
+func (u *MMU) Stats() Stats { return u.stats }
+
+// Peek translates without statistics and without demand allocation;
+// ok=false for an unmapped page.
+func (u *MMU) Peek(va uint32) (uint32, bool) {
+	vp := va >> PageBits
+	if vp >= NumPages || u.table[vp] < 0 {
+		return 0, false
+	}
+	return uint32(u.table[vp])<<PageBits | va&(PageWords-1), true
+}
+
+// MappedPages returns how many pages are currently mapped.
+func (u *MMU) MappedPages() int {
+	n := 0
+	for _, f := range u.table {
+		if f >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats clears the counters (the page table stays).
+func (u *MMU) ResetStats() { u.stats = Stats{} }
+
+// Unmap removes the mapping of the page containing va and returns its
+// physical frame, for handing the page to another address space (the
+// batch-compilation path of section 3.2.1).
+func (u *MMU) Unmap(va uint32) (frame uint32, ok bool) {
+	vp := va >> PageBits
+	if vp >= NumPages || u.table[vp] < 0 {
+		return 0, false
+	}
+	f := uint32(u.table[vp])
+	u.table[vp] = -1
+	return f, true
+}
+
+// Map installs an explicit virtual-to-physical mapping, the receiving
+// half of a page handover.
+func (u *MMU) Map(va, frame uint32) {
+	vp := va >> PageBits
+	if vp < NumPages {
+		u.table[vp] = int32(frame)
+	}
+}

@@ -1,0 +1,92 @@
+package plm
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/kcmisa"
+	"repro/internal/machine"
+	"repro/internal/reader"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+func compilePred(t *testing.T, src string, pi term.Indicator) []kcmisa.Instr {
+	t.Helper()
+	clauses, err := reader.ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := compiler.New(nil).CompileProgram(clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Preds[pi].Code
+}
+
+func TestCdrCodingShrinksStaticLists(t *testing.T) {
+	list := compilePred(t, "l([1,2,3,4,5,6,7,8]).\n", term.Ind("l", 1))
+	s := PredSize(list)
+	// KCM needs get_list + 2/cell; cdr-coded PLM needs ~1/cell.
+	kcmInstrs := len(list)
+	if s.Instrs >= kcmInstrs {
+		t.Fatalf("cdr coding did not shrink: PLM %d vs KCM %d", s.Instrs, kcmInstrs)
+	}
+	// 8 cells: expect ~10 PLM instructions vs ~18 KCM.
+	if s.Instrs > 12 {
+		t.Fatalf("PLM list encoding too large: %d instrs", s.Instrs)
+	}
+}
+
+func TestAverageBytesPerInstr(t *testing.T) {
+	// Across a representative program, PLM instructions must average
+	// ~3.3 bytes (the paper's figure), certainly within [2.5, 4.5].
+	code := compilePred(t, `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+`, term.Ind("app", 3))
+	s := PredSize(code)
+	avg := float64(s.Bytes) / float64(s.Instrs)
+	if avg < 2.0 || avg > 4.5 {
+		t.Fatalf("avg bytes/instr = %.2f", avg)
+	}
+}
+
+func TestSizesArePositive(t *testing.T) {
+	for op := kcmisa.Noop + 1; op < kcmisa.NumOps; op++ {
+		in := kcmisa.Instr{Op: op}
+		if b := instrBytes(in); b < 0 {
+			t.Errorf("op %v: negative byte size", op)
+		}
+	}
+	if instrBytes(kcmisa.Instr{Op: kcmisa.Noop}) != 0 {
+		t.Error("noop must be free")
+	}
+	sw := kcmisa.Instr{Op: kcmisa.SwitchOnConst,
+		Sw: []kcmisa.SwEntry{{Key: word.FromInt(1)}, {Key: word.FromInt(2)}}}
+	if instrBytes(sw) <= instrBytes(kcmisa.Instr{Op: kcmisa.SwitchOnConst}) {
+		t.Error("switch size must grow with its table")
+	}
+}
+
+func TestConfigModelsPLM(t *testing.T) {
+	cfg := Config()
+	if cfg.CycleNs != 100 {
+		t.Errorf("PLM clock %v ns", cfg.CycleNs)
+	}
+	if cfg.Shallow == nil || *cfg.Shallow {
+		t.Error("the PLM must use eager choice points")
+	}
+	if cfg.Costs == nil {
+		t.Fatal("no cost table")
+	}
+	// The PLM is microcoded byte-code: everything costs at least the
+	// KCM's cycle count except arithmetic (the paper's query row).
+	k := machine.Defaults
+	if cfg.Costs.Move < k.Move || cfg.Costs.Call < k.Call {
+		t.Error("PLM basic ops should not undercut KCM")
+	}
+	if cfg.Costs.DivOp >= k.DivOp {
+		t.Error("PLM integer division must be cheaper than KCM's (query row)")
+	}
+}

@@ -1,0 +1,44 @@
+package quintus
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestConfigModelsSoftwareWAM(t *testing.T) {
+	cfg := Config()
+	if cfg.CycleNs != 40 {
+		t.Errorf("SUN3/280 clock %v ns, want 40 (25 MHz)", cfg.CycleNs)
+	}
+	for name, p := range map[string]*bool{
+		"Shallow": cfg.Shallow, "HWDeref": cfg.HWDeref, "HWTrail": cfg.HWTrail,
+	} {
+		if p == nil || *p {
+			t.Errorf("%s must be off: a software WAM has no KCM hardware", name)
+		}
+	}
+	k := machine.Defaults
+	q := cfg.Costs
+	// Every operation pays interpreter dispatch: nothing is cheaper
+	// than on the microcoded KCM.
+	checks := map[string][2]int{
+		"Move":     {q.Move, k.Move},
+		"Call":     {q.Call, k.Call},
+		"Proceed":  {q.Proceed, k.Proceed},
+		"Allocate": {q.Allocate, k.Allocate},
+		"GetConst": {q.GetConst, k.GetConst},
+		"FailDeep": {q.FailDeep, k.FailDeep},
+		"MulOp":    {q.MulOp, k.MulOp},
+		"DivOp":    {q.DivOp, k.DivOp},
+	}
+	for name, pair := range checks {
+		if pair[0] <= pair[1] {
+			t.Errorf("%s: QUINTUS %d not above KCM %d", name, pair[0], pair[1])
+		}
+	}
+	// Software deref: multiple instructions per link.
+	if q.DerefStepSW < 6 {
+		t.Errorf("software deref %d cycles/link too cheap", q.DerefStepSW)
+	}
+}

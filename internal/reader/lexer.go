@@ -1,0 +1,346 @@
+// Package reader implements a Prolog reader: a tokenizer and an
+// operator-precedence parser covering the clause syntax used by the
+// PLM benchmark suite and the KCM system sources (atoms, variables,
+// integers, floats, lists, operators with the standard table,
+// comments, quoted atoms).
+package reader
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokAtom
+	tokVar
+	tokInt
+	tokFloat
+	tokString // "..." — read as a code list
+	tokPunct  // ( ) [ ] { } , |
+	tokEnd    // clause-terminating '.'
+	tokOpenCT // '(' immediately after an atom: functor application
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	ival int64
+	fval float64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokEnd:
+		return "."
+	case tokInt:
+		return fmt.Sprintf("%d", t.ival)
+	case tokFloat:
+		return fmt.Sprintf("%g", t.fval)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+const symbolChars = `+-*/\^<>=~:.?@#&$`
+
+func isSymbolChar(r byte) bool { return strings.IndexByte(symbolChars, r) >= 0 }
+
+func isAlnum(r byte) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_'
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d:%d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// skipLayout consumes whitespace and comments. It returns an error on
+// an unterminated block comment.
+func (lx *lexer) skipLayout() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '%':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.pos >= len(lx.src) {
+					return lx.errf("unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token. prevWasName tells the lexer whether
+// the previous token could be a functor name, so that '(' becomes an
+// application paren (tokOpenCT) only when glued to it.
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipLayout(); err != nil {
+		return token{}, err
+	}
+	tk := token{line: lx.line, col: lx.col}
+	if lx.pos >= len(lx.src) {
+		tk.kind = tokEOF
+		return tk, nil
+	}
+	c := lx.peek()
+	switch {
+	case c >= '0' && c <= '9':
+		return lx.number()
+	case c >= 'a' && c <= 'z':
+		start := lx.pos
+		for lx.pos < len(lx.src) && isAlnum(lx.peek()) {
+			lx.advance()
+		}
+		tk.kind = tokAtom
+		tk.text = lx.src[start:lx.pos]
+		return tk, nil
+	case c >= 'A' && c <= 'Z' || c == '_':
+		start := lx.pos
+		for lx.pos < len(lx.src) && isAlnum(lx.peek()) {
+			lx.advance()
+		}
+		tk.kind = tokVar
+		tk.text = lx.src[start:lx.pos]
+		return tk, nil
+	case c == '\'':
+		return lx.quoted('\'')
+	case c == '"':
+		t, err := lx.quoted('"')
+		if err != nil {
+			return t, err
+		}
+		t.kind = tokString
+		return t, nil
+	case c == '(' || c == ')' || c == '[' || c == ']' || c == '{' || c == '}' || c == ',' || c == '|':
+		lx.advance()
+		tk.kind = tokPunct
+		tk.text = string(c)
+		return tk, nil
+	case c == '!' || c == ';':
+		lx.advance()
+		tk.kind = tokAtom
+		tk.text = string(c)
+		return tk, nil
+	case isSymbolChar(c):
+		// A '.' followed by layout or EOF terminates the clause.
+		if c == '.' {
+			n := lx.peek2()
+			if n == 0 || n == ' ' || n == '\t' || n == '\n' || n == '\r' || n == '%' {
+				lx.advance()
+				tk.kind = tokEnd
+				return tk, nil
+			}
+		}
+		start := lx.pos
+		for lx.pos < len(lx.src) && isSymbolChar(lx.peek()) {
+			lx.advance()
+		}
+		tk.kind = tokAtom
+		tk.text = lx.src[start:lx.pos]
+		return tk, nil
+	case c == 0:
+		return tk, lx.errf("NUL byte in input")
+	default:
+		if c >= 0x80 {
+			return tk, lx.errf("non-ASCII character %q", rune(c))
+		}
+		return tk, lx.errf("unexpected character %q", rune(c))
+	}
+}
+
+func (lx *lexer) number() (token, error) {
+	tk := token{line: lx.line, col: lx.col}
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+		lx.advance()
+	}
+	// 0'c character code.
+	if lx.pos-start == 1 && lx.src[start] == '0' && lx.peek() == '\'' {
+		lx.advance()
+		if lx.pos >= len(lx.src) {
+			return tk, lx.errf("unterminated character code")
+		}
+		c := lx.advance()
+		if c == '\\' {
+			r, err := lx.escape()
+			if err != nil {
+				return tk, err
+			}
+			c = byte(r)
+		}
+		tk.kind = tokInt
+		tk.ival = int64(c)
+		return tk, nil
+	}
+	isFloat := false
+	if lx.peek() == '.' && lx.peek2() >= '0' && lx.peek2() <= '9' {
+		isFloat = true
+		lx.advance()
+		for lx.pos < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+			lx.advance()
+		}
+	}
+	if lx.peek() == 'e' || lx.peek() == 'E' {
+		save := lx.pos
+		lx.advance()
+		if lx.peek() == '+' || lx.peek() == '-' {
+			lx.advance()
+		}
+		if lx.peek() >= '0' && lx.peek() <= '9' {
+			isFloat = true
+			for lx.pos < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+				lx.advance()
+			}
+		} else {
+			lx.pos = save
+		}
+	}
+	text := lx.src[start:lx.pos]
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return tk, lx.errf("bad float %q", text)
+		}
+		tk.kind = tokFloat
+		tk.fval = f
+		return tk, nil
+	}
+	var v int64
+	for i := 0; i < len(text); i++ {
+		v = v*10 + int64(text[i]-'0')
+		if v > 1<<40 {
+			return tk, lx.errf("integer literal %q out of 32-bit range", text)
+		}
+	}
+	if v > 1<<31-1 {
+		return tk, lx.errf("integer literal %q out of 32-bit range", text)
+	}
+	tk.kind = tokInt
+	tk.ival = v
+	return tk, nil
+}
+
+func (lx *lexer) escape() (rune, error) {
+	if lx.pos >= len(lx.src) {
+		return 0, lx.errf("unterminated escape")
+	}
+	c := lx.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case 'a':
+		return 7, nil
+	case 'b':
+		return 8, nil
+	case 'f':
+		return 12, nil
+	case 'v':
+		return 11, nil
+	case '\\', '\'', '"', '`':
+		return rune(c), nil
+	case '0':
+		return 0, nil
+	default:
+		return 0, lx.errf("unknown escape \\%c", c)
+	}
+}
+
+func (lx *lexer) quoted(q byte) (token, error) {
+	tk := token{line: lx.line, col: lx.col, kind: tokAtom}
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return tk, lx.errf("unterminated quoted token")
+		}
+		c := lx.advance()
+		switch {
+		case c == q:
+			if lx.peek() == q { // doubled quote
+				lx.advance()
+				b.WriteByte(q)
+				continue
+			}
+			tk.text = b.String()
+			return tk, nil
+		case c == '\\':
+			if lx.peek() == '\n' { // line continuation
+				lx.advance()
+				continue
+			}
+			r, err := lx.escape()
+			if err != nil {
+				return tk, err
+			}
+			b.WriteRune(r)
+		default:
+			if c >= 0x80 && !unicode.IsPrint(rune(c)) {
+				return tk, lx.errf("bad character in quoted token")
+			}
+			b.WriteByte(c)
+		}
+	}
+}

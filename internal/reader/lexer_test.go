@@ -1,0 +1,166 @@
+package reader
+
+import (
+	"strings"
+	"testing"
+)
+
+// lexAll tokenizes the whole input.
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	lx := newLexer(src)
+	var out []token
+	for {
+		tk, err := lx.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tk.kind == tokEOF {
+			return out
+		}
+		out = append(out, tk)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexAll(t, "foo(Bar, 12, -3) :- baz.")
+	kinds := []tokenKind{tokAtom, tokPunct, tokVar, tokPunct, tokInt,
+		tokPunct, tokAtom, tokInt, tokPunct, tokAtom, tokAtom, tokEnd}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Fatalf("token %d: got kind %d (%v), want %d", i, toks[i].kind, toks[i], k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "a. % rest of line\nb. /* block\nspanning */ c.")
+	var atoms []string
+	for _, tk := range toks {
+		if tk.kind == tokAtom {
+			atoms = append(atoms, tk.text)
+		}
+	}
+	if strings.Join(atoms, "") != "abc" {
+		t.Fatalf("atoms %v", atoms)
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	lx := newLexer("a. /* never closed")
+	lx.next() // a
+	lx.next() // .
+	if _, err := lx.next(); err == nil {
+		t.Fatal("expected unterminated-comment error")
+	}
+}
+
+func TestLexCharCodes(t *testing.T) {
+	cases := map[string]int64{
+		"0'a":    'a',
+		"0' ":    ' ',
+		"0'\\n":  '\n',
+		"0'\\\\": '\\',
+		"0'0":    '0',
+	}
+	for src, want := range cases {
+		toks := lexAll(t, src)
+		if len(toks) != 1 || toks[0].kind != tokInt || toks[0].ival != want {
+			t.Errorf("%q: got %v, want int %d", src, toks, want)
+		}
+	}
+}
+
+func TestLexQuotedAtoms(t *testing.T) {
+	toks := lexAll(t, `'hello world' 'it''s' 'tab\t'`)
+	want := []string{"hello world", "it's", "tab\t"}
+	for i, w := range want {
+		if toks[i].kind != tokAtom || toks[i].text != w {
+			t.Errorf("token %d: got %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+func TestLexFloats(t *testing.T) {
+	toks := lexAll(t, "3.25 1.0e3 2E2")
+	if toks[0].kind != tokFloat || toks[0].fval != 3.25 {
+		t.Errorf("3.25: %v", toks[0])
+	}
+	if toks[1].kind != tokFloat || toks[1].fval != 1000 {
+		t.Errorf("1.0e3: %v", toks[1])
+	}
+	// 2E2 without a dot still scans as a float via the exponent rule.
+	if toks[2].kind != tokFloat || toks[2].fval != 200 {
+		t.Errorf("2E2: %v", toks[2])
+	}
+}
+
+func TestLexIntRange(t *testing.T) {
+	lx := newLexer("2147483647.")
+	tk, err := lx.next()
+	if err != nil || tk.ival != 2147483647 {
+		t.Fatalf("max int32: %v %v", tk, err)
+	}
+	lx = newLexer("2147483648.")
+	if _, err := lx.next(); err == nil {
+		t.Fatal("int32 overflow must be rejected")
+	}
+}
+
+func TestLexSymbolicAtoms(t *testing.T) {
+	toks := lexAll(t, "a =.. b --> c ?- d")
+	var syms []string
+	for _, tk := range toks {
+		if tk.kind == tokAtom && isSymbolChar(tk.text[0]) {
+			syms = append(syms, tk.text)
+		}
+	}
+	want := []string{"=..", "-->", "?-"}
+	if strings.Join(syms, " ") != strings.Join(want, " ") {
+		t.Fatalf("symbolic atoms %v, want %v", syms, want)
+	}
+}
+
+func TestLexEndVsDotInTerm(t *testing.T) {
+	// '.' binds as end-of-clause only before layout/EOF.
+	toks := lexAll(t, "a.b.")
+	// a, ".b"? No: '.' followed by 'b' lexes as a symbolic atom ".".
+	// The important property: "a. b." has exactly two ends.
+	ends := 0
+	for _, tk := range lexAll(t, "a. b.") {
+		if tk.kind == tokEnd {
+			ends++
+		}
+	}
+	if ends != 2 {
+		t.Fatalf("want 2 clause ends, got %d", ends)
+	}
+	_ = toks
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lexAll(t, `"ab\n"`)
+	if len(toks) != 1 || toks[0].kind != tokString || toks[0].text != "ab\n" {
+		t.Fatalf("string token %v", toks)
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	lx := newLexer("a.\n\nb.")
+	lx.next()
+	lx.next()
+	tk, _ := lx.next()
+	if tk.line != 3 {
+		t.Fatalf("b on line %d, want 3", tk.line)
+	}
+}
+
+func TestParserErrorsCarryPosition(t *testing.T) {
+	_, err := ParseAll("a.\nf(a.\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error without position: %v", err)
+	}
+}

@@ -1,0 +1,390 @@
+package reader
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/term"
+)
+
+// opType is the operator fixity class.
+type opType int
+
+const (
+	xfx opType = iota
+	xfy
+	yfx
+	fy
+	fx
+)
+
+type opDef struct {
+	prec int
+	typ  opType
+}
+
+// opTable is the standard (Edinburgh) operator table used by SEPIA
+// and the benchmark sources.
+var prefixOps = map[string]opDef{
+	":-": {1200, fx}, "?-": {1200, fx},
+	"\\+": {900, fy}, "not": {900, fy},
+	"-": {200, fy}, "+": {200, fy}, "\\": {200, fy},
+}
+
+var infixOps = map[string]opDef{
+	":-": {1200, xfx}, "-->": {1200, xfx},
+	";":  {1100, xfy},
+	"->": {1050, xfy},
+	",":  {1000, xfy},
+	"=":  {700, xfx}, "\\=": {700, xfx}, "==": {700, xfx}, "\\==": {700, xfx},
+	"@<": {700, xfx}, "@>": {700, xfx}, "@=<": {700, xfx}, "@>=": {700, xfx},
+	"is": {700, xfx}, "=:=": {700, xfx}, "=\\=": {700, xfx},
+	"<": {700, xfx}, ">": {700, xfx}, "=<": {700, xfx}, ">=": {700, xfx},
+	"=..": {700, xfx},
+	"+":   {500, yfx}, "-": {500, yfx}, "/\\": {500, yfx}, "\\/": {500, yfx}, "xor": {500, yfx},
+	"*": {400, yfx}, "/": {400, yfx}, "//": {400, yfx},
+	"mod": {400, yfx}, "rem": {400, yfx}, "<<": {400, yfx}, ">>": {400, yfx},
+	"**": {200, xfx}, "^": {200, xfy},
+}
+
+// Parser reads Prolog terms from a source string.
+type Parser struct {
+	lx       *lexer
+	tok      token
+	tokErr   error
+	glued    bool // no layout between previous token and tok
+	freshN   int
+	varsUsed map[string]int
+}
+
+// New creates a parser over src.
+func New(src string) *Parser {
+	p := &Parser{lx: newLexer(src)}
+	p.advance()
+	return p
+}
+
+func (p *Parser) advance() {
+	before := p.lx.pos
+	p.tok, p.tokErr = p.lx.next()
+	// glued: the token starts exactly where the previous one ended.
+	p.glued = p.tokErr == nil && tokenStart(p.lx, p.tok) == before
+}
+
+// tokenStart reconstructs where tok began: the lexer position minus
+// the token text length. Only meaningful for the adjacency test of
+// '(' after an atom, where the token is a single byte.
+func tokenStart(lx *lexer, tk token) int {
+	switch tk.kind {
+	case tokPunct:
+		return lx.pos - 1
+	default:
+		return -1
+	}
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+// ReadTerm reads the next clause-terminated term. It returns io.EOF
+// at end of input.
+func (p *Parser) ReadTerm() (term.Term, error) {
+	if p.tokErr != nil {
+		return nil, p.tokErr
+	}
+	if p.tok.kind == tokEOF {
+		return nil, io.EOF
+	}
+	p.varsUsed = make(map[string]int)
+	t, err := p.parse(1200)
+	if err != nil {
+		return nil, err
+	}
+	if p.tokErr != nil {
+		return nil, p.tokErr
+	}
+	if p.tok.kind != tokEnd {
+		return nil, p.errf("operator expected before %q (unterminated clause?)", p.tok.String())
+	}
+	p.advance()
+	return t, nil
+}
+
+// ReadAll reads every clause in the input.
+func (p *Parser) ReadAll() ([]term.Term, error) {
+	var out []term.Term
+	for {
+		t, err := p.ReadTerm()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseAll parses a whole program text.
+func ParseAll(src string) ([]term.Term, error) { return New(src).ReadAll() }
+
+// ParseTerm parses a single term (the input must contain exactly one
+// clause-terminated term).
+func ParseTerm(src string) (term.Term, error) {
+	p := New(src)
+	t, err := p.ReadTerm()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("trailing input after term")
+	}
+	return t, nil
+}
+
+// parse parses a term whose principal operator has precedence at most
+// maxPrec, returning the term.
+func (p *Parser) parse(maxPrec int) (term.Term, error) {
+	left, leftPrec, err := p.parsePrimary(maxPrec)
+	if err != nil {
+		return nil, err
+	}
+	return p.parseInfix(left, leftPrec, maxPrec)
+}
+
+func (p *Parser) parseInfix(left term.Term, leftPrec, maxPrec int) (term.Term, error) {
+	for {
+		if p.tokErr != nil {
+			return nil, p.tokErr
+		}
+		var name string
+		switch {
+		case p.tok.kind == tokAtom:
+			name = p.tok.text
+		case p.tok.kind == tokPunct && p.tok.text == ",":
+			name = ","
+		case p.tok.kind == tokPunct && p.tok.text == "|" && maxPrec >= 1100:
+			name = ";" // '|' as disjunction at clause level
+		default:
+			return left, nil
+		}
+		op, ok := infixOps[name]
+		if !ok || op.prec > maxPrec {
+			return left, nil
+		}
+		leftMax, rightMax := op.prec-1, op.prec-1
+		if op.typ == xfy {
+			rightMax = op.prec
+		}
+		if op.typ == yfx {
+			leftMax = op.prec
+		}
+		if leftPrec > leftMax {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parse(rightMax)
+		if err != nil {
+			return nil, err
+		}
+		left = term.New(term.Atom(name), left, right)
+		leftPrec = op.prec
+	}
+}
+
+// parsePrimary parses one operand: a constant, variable, compound,
+// parenthesised term, list, curly term or prefix-operator application.
+func (p *Parser) parsePrimary(maxPrec int) (term.Term, int, error) {
+	if p.tokErr != nil {
+		return nil, 0, p.tokErr
+	}
+	tk := p.tok
+	switch tk.kind {
+	case tokEOF:
+		return nil, 0, p.errf("unexpected end of input")
+	case tokEnd:
+		return nil, 0, p.errf("unexpected end of clause")
+	case tokInt:
+		p.advance()
+		return term.Int(int32(tk.ival)), 0, nil
+	case tokFloat:
+		p.advance()
+		return term.Float(tk.fval), 0, nil
+	case tokVar:
+		p.advance()
+		if tk.text == "_" {
+			p.freshN++
+			return term.Var(fmt.Sprintf("_G%d", p.freshN)), 0, nil
+		}
+		p.varsUsed[tk.text]++
+		return term.Var(tk.text), 0, nil
+	case tokString:
+		p.advance()
+		elems := make([]term.Term, len(tk.text))
+		for i := 0; i < len(tk.text); i++ {
+			elems[i] = term.Int(int32(tk.text[i]))
+		}
+		return term.List(elems...), 0, nil
+	case tokPunct:
+		switch tk.text {
+		case "(":
+			p.advance()
+			t, err := p.parse(1200)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, 0, err
+			}
+			return t, 0, nil
+		case "[":
+			p.advance()
+			t, err := p.parseList()
+			return t, 0, err
+		case "{":
+			p.advance()
+			if p.tok.kind == tokPunct && p.tok.text == "}" {
+				p.advance()
+				return term.Atom("{}"), 0, nil
+			}
+			t, err := p.parse(1200)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, 0, err
+			}
+			return term.New("{}", t), 0, nil
+		}
+		return nil, 0, p.errf("unexpected %q", tk.text)
+	case tokAtom:
+		p.advance()
+		// Functor application: '(' glued to the atom.
+		if p.tok.kind == tokPunct && p.tok.text == "(" && p.glued {
+			p.advance()
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, 0, err
+			}
+			return term.New(term.Atom(tk.text), args...), 0, nil
+		}
+		// Negative numeric literal.
+		if tk.text == "-" {
+			if p.tok.kind == tokInt {
+				v := p.tok.ival
+				p.advance()
+				return term.Int(int32(-v)), 0, nil
+			}
+			if p.tok.kind == tokFloat {
+				v := p.tok.fval
+				p.advance()
+				return term.Float(-v), 0, nil
+			}
+		}
+		// Prefix operator.
+		if op, ok := prefixOps[tk.text]; ok && op.prec <= maxPrec && p.canStartTerm() {
+			argMax := op.prec
+			if op.typ == fx {
+				argMax--
+			}
+			arg, err := p.parse(argMax)
+			if err != nil {
+				return nil, 0, err
+			}
+			return term.New(term.Atom(tk.text), arg), op.prec, nil
+		}
+		// Plain atom; if it is also an operator name it carries that
+		// precedence when used as an operand.
+		prec := 0
+		if op, ok := infixOps[tk.text]; ok {
+			prec = op.prec
+		}
+		return term.Atom(tk.text), prec, nil
+	}
+	return nil, 0, p.errf("unexpected token %v", tk)
+}
+
+// canStartTerm reports whether the current token can begin an operand
+// (so a prefix operator really applies to something).
+func (p *Parser) canStartTerm() bool {
+	switch p.tok.kind {
+	case tokInt, tokFloat, tokVar, tokString:
+		return true
+	case tokAtom:
+		// An infix operator cannot start a term unless it is also
+		// prefix or stands alone; accept and let recursion decide.
+		_, isInfix := infixOps[p.tok.text]
+		_, isPrefix := prefixOps[p.tok.text]
+		return !isInfix || isPrefix
+	case tokPunct:
+		return p.tok.text == "(" || p.tok.text == "[" || p.tok.text == "{"
+	}
+	return false
+}
+
+func (p *Parser) parseArgs() ([]term.Term, error) {
+	var args []term.Term
+	for {
+		a, err := p.parse(999)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.tok.kind == tokPunct && p.tok.text == "," {
+			p.advance()
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return args, nil
+	}
+}
+
+func (p *Parser) parseList() (term.Term, error) {
+	if p.tok.kind == tokPunct && p.tok.text == "]" {
+		p.advance()
+		return term.NilAtom, nil
+	}
+	var elems []term.Term
+	for {
+		e, err := p.parse(999)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		if p.tok.kind == tokPunct {
+			switch p.tok.text {
+			case ",":
+				p.advance()
+				continue
+			case "|":
+				p.advance()
+				tail, err := p.parse(999)
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+				return term.ListTail(tail, elems...), nil
+			case "]":
+				p.advance()
+				return term.List(elems...), nil
+			}
+		}
+		return nil, p.errf("expected ',' '|' or ']' in list, got %v", p.tok)
+	}
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if p.tokErr != nil {
+		return p.tokErr
+	}
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errf("expected %q, got %v", s, p.tok)
+	}
+	p.advance()
+	return nil
+}

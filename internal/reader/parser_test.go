@@ -1,0 +1,169 @@
+package reader
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func mustParse(t *testing.T, src string) term.Term {
+	t.Helper()
+	tm, err := ParseTerm(src)
+	if err != nil {
+		t.Fatalf("ParseTerm(%q): %v", src, err)
+	}
+	return tm
+}
+
+func TestParseConstants(t *testing.T) {
+	cases := []struct {
+		src  string
+		want term.Term
+	}{
+		{"foo.", term.Atom("foo")},
+		{"'hello world'.", term.Atom("hello world")},
+		{"42.", term.Int(42)},
+		{"-7.", term.Int(-7)},
+		{"3.25.", term.Float(3.25)},
+		{"X.", term.Var("X")},
+		{"[].", term.NilAtom},
+		{"0'a.", term.Int('a')},
+		{"0'\\n.", term.Int('\n')},
+	}
+	for _, c := range cases {
+		got := mustParse(t, c.src)
+		if !term.Equal(got, c.want) {
+			t.Errorf("%q: got %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseCompound(t *testing.T) {
+	got := mustParse(t, "foo(bar, X, 3).")
+	want := term.New("foo", term.Atom("bar"), term.Var("X"), term.Int(3))
+	if !term.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseList(t *testing.T) {
+	got := mustParse(t, "[a, b | T].")
+	want := term.ListTail(term.Var("T"), term.Atom("a"), term.Atom("b"))
+	if !term.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	got = mustParse(t, "[1,2,3].")
+	want = term.List(term.Int(1), term.Int(2), term.Int(3))
+	if !term.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := []struct {
+		src, canon string
+	}{
+		{"a + b * c.", "+(a,*(b,c))"},
+		{"a * b + c.", "+(*(a,b),c)"},
+		{"a - b - c.", "-(-(a,b),c)"}, // yfx is left associative
+		{"a , b , c.", ",(a,,(b,c))"}, // xfy is right associative
+		{"X is Y + 1.", "is(X,+(Y,1))"},
+		{"p :- q, r.", ":-(p,,(q,r))"},
+		{"\\+ p.", "\\+(p)"},
+		{"- (3).", "-(3)"},
+		{"a = b.", "=(a,b)"},
+		{"(a , b).", ",(a,b)"},
+		{"f(a, (b, c)).", "f(a,,(b,c))"},
+		{"2 + 3 =:= 5.", "=:=(+(2,3),5)"},
+	}
+	for _, c := range cases {
+		got := mustParse(t, c.src)
+		if s := canon(got); s != c.canon {
+			t.Errorf("%q: got %s, want %s", c.src, s, c.canon)
+		}
+	}
+}
+
+// canon prints a term in strict functional notation for comparison.
+func canon(t term.Term) string {
+	c, ok := t.(*term.Compound)
+	if !ok {
+		return t.String()
+	}
+	s := term.Atom(c.Functor).String() + "("
+	for i, a := range c.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += canon(a)
+	}
+	return s + ")"
+}
+
+func TestParseClausesAndComments(t *testing.T) {
+	src := `
+% line comment
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R). /* block
+comment */
+main :- app([1,2], [3], X), write(X), nl.
+`
+	ts, err := ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("got %d clauses, want 3", len(ts))
+	}
+	if pi, _ := term.TermIndicator(ts[0]); pi != term.Ind("app", 3) {
+		t.Errorf("first clause indicator = %v", pi)
+	}
+}
+
+func TestAnonymousVarsAreFresh(t *testing.T) {
+	tm := mustParse(t, "f(_, _).")
+	c := tm.(*term.Compound)
+	if term.Equal(c.Args[0], c.Args[1]) {
+		t.Fatal("two _ should be distinct variables")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"f(a.",          // unterminated args
+		"[a, b.",        // unterminated list
+		"'unclosed.",    // unterminated quote
+		"123456789012.", // out of 32-bit range
+		"f(a) g(b).",    // missing operator
+		"",              // handled as EOF by ReadTerm, error by ParseTerm path below
+	}
+	for _, src := range bad[:5] {
+		if _, err := ParseTerm(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+	if _, err := New("").ReadTerm(); err != io.EOF {
+		t.Errorf("empty input: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadAllEOFAfterClauses(t *testing.T) {
+	p := New("a. b.")
+	for i := 0; i < 2; i++ {
+		if _, err := p.ReadTerm(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.ReadTerm(); err != io.EOF {
+		t.Fatalf("got %v, want io.EOF", err)
+	}
+}
+
+func TestStringIsCodeList(t *testing.T) {
+	got := mustParse(t, `"ab".`)
+	want := term.List(term.Int('a'), term.Int('b'))
+	if !term.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,126 @@
+// Package spur models the static code size of SPUR, Berkeley's
+// general-purpose tagged RISC, compiling the same Prolog programs to
+// sequences of 32-bit RISC instructions (Borriello et al., ASPLOS II,
+// the source of the paper's Table 1 SPUR columns).
+//
+// Only static size is compared in the paper, so only static size is
+// modelled: each WAM-level operation expands to the macro-expanded
+// RISC sequence length (tag extraction, compare-and-branch chains,
+// dereference loops unrolled once, explicit stack arithmetic), and
+// every instruction is four bytes.
+package spur
+
+import "repro/internal/kcmisa"
+
+// BytesPerInstr is the SPUR instruction width.
+const BytesPerInstr = 4
+
+// expansion is the number of SPUR instructions macro-generated for
+// one WAM operation. The numbers follow the shape of the ASPLOS-II
+// study: trivial register moves stay single instructions, unification
+// and indexing explode into tag-dispatch code, and choice-point
+// save/restore becomes long load/store sequences.
+func expansion(in kcmisa.Instr) int {
+	switch in.Op {
+	case kcmisa.Noop:
+		return 0
+	case kcmisa.GetVarX, kcmisa.PutValX:
+		return 1
+	case kcmisa.MoveXY, kcmisa.MoveYX, kcmisa.PutValY:
+		return 2
+	case kcmisa.PutVarX:
+		return 6
+	case kcmisa.PutVarY:
+		return 6
+	case kcmisa.PutUnsafeY:
+		return 18
+	case kcmisa.PutConst, kcmisa.PutNil, kcmisa.LoadConst:
+		return 3
+	case kcmisa.PutList:
+		return 5
+	case kcmisa.PutStruct:
+		return 8
+	case kcmisa.GetValX, kcmisa.UnifyRegs:
+		return 34 // general unification call sequence
+	case kcmisa.GetConst, kcmisa.GetNil:
+		return 20 // deref loop + tag dispatch + bind/trail path
+	case kcmisa.GetList:
+		return 22
+	case kcmisa.GetStruct:
+		return 30
+	case kcmisa.UnifyVarX, kcmisa.UnifyVarY:
+		return 6
+	case kcmisa.UnifyValX, kcmisa.UnifyValY:
+		return 20
+	case kcmisa.UnifyLocX, kcmisa.UnifyLocY:
+		return 24
+	case kcmisa.UnifyConst, kcmisa.UnifyNil:
+		return 16
+	case kcmisa.UnifyList:
+		return 16
+	case kcmisa.UnifyVoid:
+		return 6
+	case kcmisa.Call:
+		return 6
+	case kcmisa.Execute:
+		return 5
+	case kcmisa.Proceed:
+		return 4
+	case kcmisa.Allocate:
+		return 14
+	case kcmisa.Deallocate:
+		return 10
+	case kcmisa.TryMeElse, kcmisa.Try:
+		return 40 // full choice-point save
+	case kcmisa.RetryMeElse, kcmisa.Retry:
+		return 34
+	case kcmisa.TrustMe, kcmisa.Trust:
+		return 28
+	case kcmisa.Neck:
+		return 0 // KCM-specific; SPUR code has no neck
+	case kcmisa.SwitchOnTerm:
+		return 16
+	case kcmisa.SwitchOnConst, kcmisa.SwitchOnStruct:
+		return 18 + 2*len(in.Sw) // hash dispatch + inline table
+	case kcmisa.Cut, kcmisa.CutY:
+		return 9
+	case kcmisa.SaveB0:
+		return 2
+	case kcmisa.Fail:
+		return 2
+	case kcmisa.Halt, kcmisa.HaltFail:
+		return 1
+	case kcmisa.Add, kcmisa.Sub:
+		return 12 // tag checks + untag + op + retag + overflow branch
+	case kcmisa.Mul, kcmisa.Div, kcmisa.Mod:
+		return 16
+	case kcmisa.CmpLt, kcmisa.CmpLe, kcmisa.CmpGt, kcmisa.CmpGe,
+		kcmisa.CmpEq, kcmisa.CmpNe:
+		return 12
+	case kcmisa.TestVar, kcmisa.TestNonvar, kcmisa.TestAtom,
+		kcmisa.TestInteger, kcmisa.TestAtomic:
+		return 7
+	case kcmisa.IdentEq, kcmisa.IdentNe:
+		return 26
+	case kcmisa.Builtin:
+		return 6
+	default:
+		return 4
+	}
+}
+
+// Size is the SPUR static code size of one predicate.
+type Size struct {
+	Instrs int
+	Bytes  int
+}
+
+// PredSize expands a compiled predicate to its SPUR size.
+func PredSize(code []kcmisa.Instr) Size {
+	var s Size
+	for _, in := range code {
+		s.Instrs += expansion(in)
+	}
+	s.Bytes = s.Instrs * BytesPerInstr
+	return s
+}

@@ -1,0 +1,58 @@
+package spur
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/kcmisa"
+	"repro/internal/reader"
+	"repro/internal/term"
+)
+
+func TestBytesAreFourPerInstr(t *testing.T) {
+	code := []kcmisa.Instr{{Op: kcmisa.GetList}, {Op: kcmisa.Proceed}}
+	s := PredSize(code)
+	if s.Bytes != s.Instrs*BytesPerInstr {
+		t.Fatalf("bytes %d != 4 x %d", s.Bytes, s.Instrs)
+	}
+}
+
+func TestExpansionOrdering(t *testing.T) {
+	// Unification must expand far beyond register moves, and general
+	// unification beyond first-level tag dispatch: the RISC-vs-CISC
+	// structure of the ASPLOS study.
+	move := expansion(kcmisa.Instr{Op: kcmisa.GetVarX})
+	getc := expansion(kcmisa.Instr{Op: kcmisa.GetConst})
+	genu := expansion(kcmisa.Instr{Op: kcmisa.GetValX})
+	try := expansion(kcmisa.Instr{Op: kcmisa.TryMeElse})
+	if !(move < getc && getc < genu) {
+		t.Fatalf("ordering broken: move=%d getc=%d genu=%d", move, getc, genu)
+	}
+	if try < 20 {
+		t.Fatalf("choice-point save too cheap: %d", try)
+	}
+	if expansion(kcmisa.Instr{Op: kcmisa.Neck}) != 0 {
+		t.Fatal("SPUR code has no neck")
+	}
+}
+
+func TestWholeProgramExpansion(t *testing.T) {
+	clauses, err := reader.ParseAll(`
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := compiler.New(nil).CompileProgram(clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := m.Preds[term.Ind("app", 3)].Code
+	s := PredSize(code)
+	ratio := float64(s.Instrs) / float64(len(code))
+	// Table 1 puts SPUR/KCM instruction ratios between ~6 and ~20.
+	if ratio < 4 || ratio > 25 {
+		t.Fatalf("SPUR/KCM instruction ratio %.1f out of range", ratio)
+	}
+}

@@ -1,0 +1,369 @@
+// Package term defines the source-level representation of Prolog
+// terms produced by the reader and consumed by the compiler, together
+// with the interned symbol table shared by every subsystem.
+//
+// These terms are a compiler-side notion: at run time the machine
+// works exclusively on tagged 64-bit words (package word).
+package term
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a Prolog term: Atom, Int, Float, Var or *Compound.
+type Term interface {
+	fmt.Stringer
+	isTerm()
+}
+
+// Atom is an atomic constant such as foo, [], '+'.
+type Atom string
+
+// Int is an integer constant. KCM integers are 32-bit; the reader
+// rejects literals outside that range.
+type Int int32
+
+// Float is a floating-point constant. KCM floats are 32-bit IEEE;
+// the value is kept as float64 in the AST and narrowed on loading.
+type Float float64
+
+// Var is a named logic variable. Variables with the same name inside
+// one clause denote the same variable; "_" is always fresh.
+type Var string
+
+// Compound is a compound term Functor(Args...). Lists are compound
+// terms with functor "." and arity 2, terminated by the atom "[]".
+type Compound struct {
+	Functor Atom
+	Args    []Term
+}
+
+func (Atom) isTerm()      {}
+func (Int) isTerm()       {}
+func (Float) isTerm()     {}
+func (Var) isTerm()       {}
+func (*Compound) isTerm() {}
+
+// NilAtom is the empty-list atom.
+const NilAtom Atom = "[]"
+
+// DotAtom is the list-cell functor.
+const DotAtom Atom = "."
+
+// New builds a compound term (or returns the bare atom for arity 0).
+func New(f Atom, args ...Term) Term {
+	if len(args) == 0 {
+		return f
+	}
+	return &Compound{Functor: f, Args: args}
+}
+
+// Cons builds a list cell [Head|Tail].
+func Cons(head, tail Term) Term {
+	return &Compound{Functor: DotAtom, Args: []Term{head, tail}}
+}
+
+// List builds a proper list from elements.
+func List(elems ...Term) Term {
+	var t Term = NilAtom
+	for i := len(elems) - 1; i >= 0; i-- {
+		t = Cons(elems[i], t)
+	}
+	return t
+}
+
+// ListTail builds a partial list ending in tail.
+func ListTail(tail Term, elems ...Term) Term {
+	t := tail
+	for i := len(elems) - 1; i >= 0; i-- {
+		t = Cons(elems[i], t)
+	}
+	return t
+}
+
+// IsCons reports whether t is a list cell and returns its head and tail.
+func IsCons(t Term) (head, tail Term, ok bool) {
+	c, isC := t.(*Compound)
+	if !isC || c.Functor != DotAtom || len(c.Args) != 2 {
+		return nil, nil, false
+	}
+	return c.Args[0], c.Args[1], true
+}
+
+// Indicator identifies a predicate or functor: name/arity.
+type Indicator struct {
+	Name  Atom
+	Arity int
+}
+
+func (pi Indicator) String() string { return fmt.Sprintf("%s/%d", string(pi.Name), pi.Arity) }
+
+// Ind is shorthand for building an Indicator.
+func Ind(name Atom, arity int) Indicator { return Indicator{Name: name, Arity: arity} }
+
+func (a Atom) String() string {
+	if needsQuote(string(a)) {
+		return "'" + strings.ReplaceAll(string(a), "'", "\\'") + "'"
+	}
+	return string(a)
+}
+
+// Display renders a term the way write/1 does: operators infix, lists
+// bracketed, atoms never quoted. String (used by writeq-style output
+// and diagnostics) quotes atoms that need it.
+func Display(t Term) string {
+	switch x := t.(type) {
+	case Atom:
+		return string(x)
+	case *Compound:
+		return x.display()
+	default:
+		return t.String()
+	}
+}
+
+func (i Int) String() string   { return fmt.Sprintf("%d", int32(i)) }
+func (f Float) String() string { return fmt.Sprintf("%g", float64(f)) }
+func (v Var) String() string   { return string(v) }
+
+// printOp describes an operator for output purposes, mirroring the
+// reader's table so write/1 round-trips with read.
+type printOp struct {
+	prec        int
+	rightAssoc  bool // xfy
+	leftAssoc   bool // yfx
+	needsSpaces bool // alphabetic operators
+}
+
+var printOps = map[Atom]printOp{
+	":-": {prec: 1200}, "-->": {prec: 1200},
+	";":  {prec: 1100, rightAssoc: true},
+	"->": {prec: 1050, rightAssoc: true},
+	",":  {prec: 1000, rightAssoc: true},
+	"=":  {prec: 700}, "\\=": {prec: 700}, "==": {prec: 700}, "\\==": {prec: 700},
+	"is": {prec: 700, needsSpaces: true},
+	"<":  {prec: 700}, ">": {prec: 700}, "=<": {prec: 700}, ">=": {prec: 700},
+	"=:=": {prec: 700}, "=\\=": {prec: 700}, "=..": {prec: 700},
+	"@<": {prec: 700}, "@>": {prec: 700}, "@=<": {prec: 700}, "@>=": {prec: 700},
+	"+": {prec: 500, leftAssoc: true}, "-": {prec: 500, leftAssoc: true},
+	"/\\": {prec: 500, leftAssoc: true}, "\\/": {prec: 500, leftAssoc: true},
+	"xor": {prec: 500, leftAssoc: true, needsSpaces: true},
+	"*":   {prec: 400, leftAssoc: true}, "/": {prec: 400, leftAssoc: true},
+	"//":  {prec: 400, leftAssoc: true},
+	"mod": {prec: 400, leftAssoc: true, needsSpaces: true},
+	"rem": {prec: 400, leftAssoc: true, needsSpaces: true},
+	"<<":  {prec: 400, leftAssoc: true}, ">>": {prec: 400, leftAssoc: true},
+	"**": {prec: 200}, "^": {prec: 200, rightAssoc: true},
+}
+
+// termPrec returns the principal operator precedence of a term for
+// parenthesisation (0 for non-operator terms).
+func termPrec(t Term) int {
+	c, ok := t.(*Compound)
+	if !ok || len(c.Args) != 2 {
+		if c != nil && len(c.Args) == 1 && (c.Functor == "-" || c.Functor == "\\+") {
+			return 200
+		}
+		return 0
+	}
+	if op, ok := printOps[c.Functor]; ok {
+		return op.prec
+	}
+	return 0
+}
+
+func writeArgWith(b *strings.Builder, t Term, maxPrec int, show func(Term) string) {
+	if termPrec(t) > maxPrec {
+		b.WriteByte('(')
+		b.WriteString(show(t))
+		b.WriteByte(')')
+		return
+	}
+	b.WriteString(show(t))
+}
+
+// String renders with atom quoting (writeq style).
+func (c *Compound) String() string {
+	return c.render(func(t Term) string { return t.String() }, true)
+}
+
+// display renders without atom quoting (write style).
+func (c *Compound) display() string { return c.render(Display, false) }
+
+func (c *Compound) render(show func(Term) string, quoted bool) string {
+	// Binary operators print infix.
+	if op, ok := printOps[c.Functor]; ok && len(c.Args) == 2 {
+		var b strings.Builder
+		lmax, rmax := op.prec-1, op.prec-1
+		if op.leftAssoc {
+			lmax = op.prec
+		}
+		if op.rightAssoc {
+			rmax = op.prec
+		}
+		writeArgWith(&b, c.Args[0], lmax, show)
+		if op.needsSpaces {
+			b.WriteByte(' ')
+			b.WriteString(string(c.Functor))
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(string(c.Functor))
+		}
+		writeArgWith(&b, c.Args[1], rmax, show)
+		return b.String()
+	}
+	// Unary minus and negation print prefix.
+	if len(c.Args) == 1 && (c.Functor == "-" || c.Functor == "\\+") {
+		var b strings.Builder
+		b.WriteString(string(c.Functor))
+		if c.Functor == "\\+" {
+			b.WriteByte(' ')
+		}
+		writeArgWith(&b, c.Args[0], 200, show)
+		return b.String()
+	}
+	// Lists print in bracket notation.
+	if c.Functor == DotAtom && len(c.Args) == 2 {
+		var b strings.Builder
+		b.WriteByte('[')
+		b.WriteString(show(c.Args[0]))
+		t := c.Args[1]
+		for {
+			if h2, t2, ok := IsCons(t); ok {
+				b.WriteByte(',')
+				b.WriteString(show(h2))
+				t = t2
+				continue
+			}
+			break
+		}
+		if t != Term(NilAtom) {
+			if a, ok := t.(Atom); !ok || a != NilAtom {
+				b.WriteByte('|')
+				b.WriteString(show(t))
+			}
+		}
+		b.WriteByte(']')
+		return b.String()
+	}
+	var b strings.Builder
+	if quoted {
+		b.WriteString(c.Functor.String())
+	} else {
+		b.WriteString(string(c.Functor))
+	}
+	b.WriteByte('(')
+	for i, a := range c.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(show(a))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	switch s {
+	case "[]", "{}", "!", ";", ",", ".", "|":
+		return false
+	}
+	c := s[0]
+	if c >= 'a' && c <= 'z' {
+		for i := 1; i < len(s); i++ {
+			c := s[i]
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_') {
+				return true
+			}
+		}
+		return false
+	}
+	// Symbolic atoms made purely of symbol chars need no quotes.
+	if strings.IndexFunc(s, func(r rune) bool { return !strings.ContainsRune(`+-*/\^<>=~:.?@#&$`, r) }) == -1 {
+		return false
+	}
+	return true
+}
+
+// Indicator returns the functor/arity pair of a callable term, or
+// ok=false for non-callable terms (integers, variables...).
+func TermIndicator(t Term) (Indicator, bool) {
+	switch x := t.(type) {
+	case Atom:
+		return Indicator{Name: x, Arity: 0}, true
+	case *Compound:
+		return Indicator{Name: x.Functor, Arity: len(x.Args)}, true
+	}
+	return Indicator{}, false
+}
+
+// Rename returns a copy of t with every variable prefixed, used when
+// tests need fresh variants of a clause.
+func Rename(t Term, prefix string) Term {
+	switch x := t.(type) {
+	case Var:
+		return Var(prefix + string(x))
+	case *Compound:
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Rename(a, prefix)
+		}
+		return &Compound{Functor: x.Functor, Args: args}
+	default:
+		return t
+	}
+}
+
+// Vars appends the distinct variables of t, in first-occurrence
+// order, to dst and returns it.
+func Vars(t Term, dst []Var) []Var {
+	switch x := t.(type) {
+	case Var:
+		for _, v := range dst {
+			if v == x {
+				return dst
+			}
+		}
+		return append(dst, x)
+	case *Compound:
+		for _, a := range x.Args {
+			dst = Vars(a, dst)
+		}
+	}
+	return dst
+}
+
+// Equal reports structural equality of two terms (variables compare
+// by name).
+func Equal(a, b Term) bool {
+	switch x := a.(type) {
+	case Atom:
+		y, ok := b.(Atom)
+		return ok && x == y
+	case Int:
+		y, ok := b.(Int)
+		return ok && x == y
+	case Float:
+		y, ok := b.(Float)
+		return ok && x == y
+	case Var:
+		y, ok := b.(Var)
+		return ok && x == y
+	case *Compound:
+		y, ok := b.(*Compound)
+		if !ok || x.Functor != y.Functor || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Equal(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

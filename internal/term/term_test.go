@@ -1,0 +1,155 @@
+package term
+
+import (
+	"testing"
+)
+
+func TestListBuilders(t *testing.T) {
+	l := List(Int(1), Int(2))
+	h, tl, ok := IsCons(l)
+	if !ok || !Equal(h, Int(1)) {
+		t.Fatalf("bad head of %v", l)
+	}
+	h2, tl2, ok := IsCons(tl)
+	if !ok || !Equal(h2, Int(2)) || !Equal(tl2, NilAtom) {
+		t.Fatalf("bad tail of %v", l)
+	}
+	if _, _, ok := IsCons(NilAtom); ok {
+		t.Fatal("[] is not a cons")
+	}
+	pt := ListTail(Var("T"), Atom("a"))
+	_, tl3, _ := IsCons(pt)
+	if !Equal(tl3, Var("T")) {
+		t.Fatalf("partial list tail = %v", tl3)
+	}
+}
+
+func TestVarsOrderAndDedup(t *testing.T) {
+	tm := New("f", Var("X"), New("g", Var("Y"), Var("X")), Var("Z"))
+	vs := Vars(tm, nil)
+	want := []Var{"X", "Y", "Z"}
+	if len(vs) != len(want) {
+		t.Fatalf("got %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("got %v, want %v", vs, want)
+		}
+	}
+}
+
+func TestRename(t *testing.T) {
+	tm := New("f", Var("X"), Int(1))
+	r := Rename(tm, "p_")
+	if !Equal(r, New("f", Var("p_X"), Int(1))) {
+		t.Fatalf("got %v", r)
+	}
+	// Original untouched.
+	if !Equal(tm, New("f", Var("X"), Int(1))) {
+		t.Fatal("rename mutated input")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(List(Int(1)), List(Int(1))) {
+		t.Error("equal lists differ")
+	}
+	if Equal(List(Int(1)), List(Int(2))) {
+		t.Error("different lists equal")
+	}
+	if Equal(Atom("a"), Var("a")) {
+		t.Error("atom equals var")
+	}
+	if Equal(Int(1), Float(1)) {
+		t.Error("int equals float")
+	}
+}
+
+func TestPrinting(t *testing.T) {
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{List(Int(1), Int(2), Int(3)), "[1,2,3]"},
+		{ListTail(Var("T"), Atom("a")), "[a|T]"},
+		{New("+", Int(1), New("*", Int(2), Int(3))), "1+2*3"},
+		{New("*", New("+", Int(1), Int(2)), Int(3)), "(1+2)*3"},
+		{New("-", New("-", Int(1), Int(2)), Int(3)), "1-2-3"},
+		{New("-", Int(1), New("-", Int(2), Int(3))), "1-(2-3)"},
+		{New("is", Var("X"), New("mod", Var("Y"), Int(2))), "X is Y mod 2"},
+		{New(":-", Atom("a"), New(",", Atom("b"), Atom("c"))), "a:-b,c"},
+		{New("-", Var("X")), "-X"},
+		{New("\\+", Atom("p")), "\\+ p"},
+		{New("f", Atom("a"), Var("B")), "f(a,B)"},
+		{Atom("hello world"), "'hello world'"},
+		{Atom("[]"), "[]"},
+		{Float(2.5), "2.5"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDisplayUnquoted(t *testing.T) {
+	tm := New("f", Atom("hello world"), List(Atom("it's")))
+	if got := Display(tm); got != "f(hello world,[it's])" {
+		t.Errorf("Display = %q", got)
+	}
+	if got := Display(Atom("a b")); got != "a b" {
+		t.Errorf("Display atom = %q", got)
+	}
+}
+
+func TestTermIndicator(t *testing.T) {
+	if pi, ok := TermIndicator(Atom("foo")); !ok || pi != Ind("foo", 0) {
+		t.Error("atom indicator")
+	}
+	if pi, ok := TermIndicator(New("f", Int(1))); !ok || pi != Ind("f", 1) {
+		t.Error("compound indicator")
+	}
+	if _, ok := TermIndicator(Int(3)); ok {
+		t.Error("int should not be callable")
+	}
+	if _, ok := TermIndicator(Var("X")); ok {
+		t.Error("var should not be callable")
+	}
+}
+
+func TestSymTab(t *testing.T) {
+	st := NewSymTab()
+	if idx, _ := st.Lookup("[]"); idx != 0 {
+		t.Fatalf("[] must be atom 0, got %d", idx)
+	}
+	a := st.Intern("zebra")
+	b := st.Intern("zebra")
+	if a != b {
+		t.Fatal("interning not idempotent")
+	}
+	if st.Name(a) != "zebra" {
+		t.Fatalf("Name(%d) = %v", a, st.Name(a))
+	}
+	if _, ok := st.Lookup("nonexistent"); ok {
+		t.Fatal("lookup invented an atom")
+	}
+	n := st.Len()
+	st.Intern("zebra")
+	if st.Len() != n {
+		t.Fatal("re-interning grew the table")
+	}
+}
+
+func TestSymTabConcurrent(t *testing.T) {
+	st := NewSymTab()
+	done := make(chan uint32, 64)
+	for i := 0; i < 64; i++ {
+		go func() { done <- st.Intern("shared") }()
+	}
+	first := <-done
+	for i := 1; i < 64; i++ {
+		if got := <-done; got != first {
+			t.Fatal("concurrent interning produced distinct indices")
+		}
+	}
+}

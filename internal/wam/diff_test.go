@@ -1,0 +1,183 @@
+package wam_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/reader"
+	"repro/internal/term"
+	"repro/internal/wam"
+)
+
+// runBoth executes the same query on the KCM machine simulator and on
+// the reference WAM interpreter and returns both outcomes.
+func runBoth(t *testing.T, src, query string) (kcmOK bool, kcmB map[term.Var]term.Term, kcmInf uint64,
+	wamOK bool, wamB map[term.Var]term.Term, wamInf uint64) {
+	t.Helper()
+	// KCM side.
+	prog := core.MustLoad(src)
+	sol, err := prog.Query(query)
+	if err != nil {
+		t.Fatalf("kcm %q: %v", query, err)
+	}
+	kcmOK, kcmB, kcmInf = sol.Success, sol.Bindings, sol.Result.Stats.Inferences
+
+	// Reference side: compile independently (fresh symbol table).
+	clauses, err := reader.ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal, err := reader.ParseTerm(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compiler.New(nil)
+	mod, err := c.CompileProgram(clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompileQuery(mod, goal); err != nil {
+		t.Fatal(err)
+	}
+	m, err := wam.New(mod, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunQuery(mod.QueryVars)
+	if err != nil {
+		t.Fatalf("wam %q: %v", query, err)
+	}
+	return kcmOK, kcmB, kcmInf, res.Success, res.Bindings, res.Inferences
+}
+
+func bindingsString(b map[term.Var]term.Term) string {
+	var parts []string
+	for v, t := range b {
+		s := t.String()
+		if strings.Contains(s, "_G") {
+			continue // fresh-variable names differ between engines
+		}
+		parts = append(parts, string(v)+"="+s)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// queries exercised on both engines over a shared program base.
+var diffProgram = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+max(X, Y, X) :- X >= Y, !.
+max(_, Y, Y).
+fact(0, 1).
+fact(N, F) :- N > 0, M is N - 1, fact(M, G), F is N * G.
+sum([], 0).
+sum([H|T], S) :- sum(T, S1), S is S1 + H.
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+perm([], []).
+perm(L, [X|P]) :- select(X, L, R), perm(R, P).
+`
+
+var diffQueries = []string{
+	"app([1,2,3], [4], X).",
+	"app(X, Y, [1,2,3]), X = [1,2|_].",
+	"nrev([1,2,3,4,5,6,7], R).",
+	"member(3, [1,2,3]).",
+	"member(x, [1,2,3]).",
+	"len([a,b,c,d], N).",
+	"max(3, 9, M).",
+	"max(9, 3, M).",
+	"fact(8, F).",
+	"sum([1,2,3,4,5], S).",
+	"perm([1,2,3], P), P = [3|_].",
+	"perm([1,2,3], [2,1,3]).",
+	"select(X, [a,b,c], R), R = [a,c].",
+	"X is 3 * 4 + 2, X > 10.",
+	"X = f(Y), Y = g(1), X == f(g(1)).",
+	"\\+ member(9, [1,2,3]).",
+	"( member(2, [1,2]) -> R = yes ; R = no ).",
+	"( member(9, [1,2]) -> R = yes ; R = no ).",
+}
+
+// TestDifferentialQueries cross-checks the two engines on a query
+// battery: success, named bindings and the inference count must all
+// agree (the engines share the compiler, so counts are comparable).
+func TestDifferentialQueries(t *testing.T) {
+	for _, q := range diffQueries {
+		kOK, kB, kInf, wOK, wB, wInf := runBoth(t, diffProgram, q)
+		if kOK != wOK {
+			t.Errorf("%q: kcm success=%v, wam success=%v", q, kOK, wOK)
+			continue
+		}
+		if kOK {
+			if ks, ws := bindingsString(kB), bindingsString(wB); ks != ws {
+				t.Errorf("%q: bindings differ:\n  kcm: %s\n  wam: %s", q, ks, ws)
+			}
+		}
+		if kInf != wInf {
+			t.Errorf("%q: inference counts differ: kcm=%d wam=%d", q, kInf, wInf)
+		}
+	}
+}
+
+// TestDifferentialSuite cross-checks the full PLM suite: both engines
+// must succeed with identical inference counts and identical output.
+func TestDifferentialSuite(t *testing.T) {
+	for _, p := range bench.Suite {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			// KCM.
+			r, err := bench.RunKCM(p, false, machine.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reference.
+			clauses, err := reader.ParseAll(p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goal, err := reader.ParseTerm(p.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := compiler.New(nil)
+			mod, err := c.CompileProgram(clauses)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.CompileQuery(mod, goal); err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			m, err := wam.New(mod, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.RunQuery(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Success != res.Success {
+				t.Fatalf("success mismatch: kcm=%v wam=%v", r.Success, res.Success)
+			}
+			if r.Stats.Inferences != res.Inferences {
+				t.Errorf("inference mismatch: kcm=%d wam=%d", r.Stats.Inferences, res.Inferences)
+			}
+			if !strings.Contains(r.Output, "_G") && r.Output != out.String() {
+				t.Errorf("output mismatch:\n kcm: %q\n wam: %q", r.Output, out.String())
+			}
+		})
+	}
+}

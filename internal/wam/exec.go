@@ -1,0 +1,521 @@
+package wam
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compiler"
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// Result is the outcome of a query run.
+type Result struct {
+	Success    bool
+	Inferences uint64
+	Bindings   map[term.Var]term.Term
+}
+
+// RunQuery executes the module's $query/0 entry point.
+func (m *Machine) RunQuery(queryVars map[term.Var]int) (Result, error) {
+	entry, ok := m.entries[compiler.QueryPI]
+	if !ok {
+		return Result{}, fmt.Errorf("wam: no query entry")
+	}
+	m.p = entry
+	m.halted = false
+	m.failed = false
+	m.b = nil
+	m.b0 = nil
+	m.e = nil
+	m.trail = m.trail[:0]
+	var steps uint64
+	for !m.halted && m.err == nil {
+		if steps >= m.maxSteps {
+			m.err = fmt.Errorf("wam: step limit exceeded")
+			break
+		}
+		steps++
+		in := m.code[m.p]
+		m.p++
+		m.exec(in)
+	}
+	res := Result{Success: m.halted && !m.failed, Inferences: m.Inferences}
+	if res.Success && queryVars != nil && m.e != nil {
+		res.Bindings = map[term.Var]term.Term{}
+		for v, y := range queryVars {
+			res.Bindings[v] = m.readTerm(m.e.ys[y], 1_000_000)
+		}
+	}
+	return res, m.err
+}
+
+func (m *Machine) bindCell(c, v *Cell) {
+	c.Ref = v
+	m.trail = append(m.trail, c)
+}
+
+func (m *Machine) unwind(to int) {
+	for len(m.trail) > to {
+		c := m.trail[len(m.trail)-1]
+		m.trail = m.trail[:len(m.trail)-1]
+		c.Ref = nil
+	}
+}
+
+func (m *Machine) fail() {
+	if m.b == nil {
+		m.halted = true
+		m.failed = true
+		return
+	}
+	b := m.b
+	copy(m.regs[1:1+len(b.args)], b.args)
+	m.e = b.e
+	m.cp = b.cp
+	m.b0 = b.b0
+	m.unwind(b.trail)
+	m.p = b.next
+}
+
+func (m *Machine) pushCP(arity, next int) {
+	args := make([]*Cell, arity)
+	copy(args, m.regs[1:1+arity])
+	m.b = &choice{
+		prev: m.b, next: next, e: m.e, cp: m.cp,
+		args: args, trail: len(m.trail), b0: m.b0,
+	}
+}
+
+func (m *Machine) constCell(k word.Word) *Cell {
+	switch k.Type() {
+	case word.TInt:
+		return mkInt(k.Int())
+	case word.TFloat:
+		return mkFloat(math.Float32frombits(k.Value()))
+	case word.TNil:
+		return mkNil()
+	case word.TAtom:
+		return mkAtom(m.syms.Name(k.Value()))
+	}
+	m.err = fmt.Errorf("wam: bad constant %v", k)
+	return mkNil()
+}
+
+// matchConst reports whether a dereferenced cell equals a constant
+// operand.
+func (m *Machine) matchConst(c *Cell, k word.Word) bool {
+	switch k.Type() {
+	case word.TInt:
+		return c.Kind == KInt && c.Int == k.Int()
+	case word.TFloat:
+		return c.Kind == KFloat && math.Float32bits(c.F) == k.Value()
+	case word.TNil:
+		return c.Kind == KNil
+	case word.TAtom:
+		return c.Kind == KAtom && c.Atom == m.syms.Name(k.Value())
+	}
+	return false
+}
+
+func (m *Machine) getConst(r kcmisa.Reg, k word.Word) {
+	c := deref(m.regs[r])
+	if c.Kind == KRef {
+		m.bindCell(c, m.constCell(k))
+		return
+	}
+	if !m.matchConst(c, k) {
+		m.fail()
+	}
+}
+
+// nextSub returns the next subterm slot in read mode.
+func (m *Machine) nextSub() *Cell {
+	c := m.s[m.si]
+	m.si++
+	return c
+}
+
+func (m *Machine) exec(in kcmisa.Instr) {
+	if in.Mark {
+		m.Inferences++
+	}
+	switch in.Op {
+	case kcmisa.Noop:
+	case kcmisa.Call:
+		m.Inferences++
+		m.Calls++
+		m.cp = m.p
+		m.b0 = m.b
+		m.p = in.L
+	case kcmisa.Execute:
+		m.Inferences++
+		m.Calls++
+		m.b0 = m.b
+		m.p = in.L
+	case kcmisa.Proceed:
+		m.p = m.cp
+	case kcmisa.Jump:
+		m.p = in.L
+	case kcmisa.Fail:
+		m.fail()
+	case kcmisa.Halt:
+		m.halted = true
+	case kcmisa.HaltFail:
+		m.halted = true
+		m.failed = true
+
+	case kcmisa.Allocate:
+		m.e = &env{prev: m.e, cp: m.cp, ys: make([]*Cell, in.N)}
+	case kcmisa.Deallocate:
+		m.cp = m.e.cp
+		m.e = m.e.prev
+
+	case kcmisa.TryMeElse:
+		m.pushCP(in.N, in.L)
+	case kcmisa.RetryMeElse:
+		m.b.next = in.L
+	case kcmisa.TrustMe:
+		m.b = m.b.prev
+	case kcmisa.Try:
+		m.pushCP(in.N, m.p)
+		m.p = in.L
+	case kcmisa.Retry:
+		m.b.next = m.p
+		m.p = in.L
+	case kcmisa.Trust:
+		m.b = m.b.prev
+		m.p = in.L
+	case kcmisa.Neck:
+		// Choice points are eager in this reference interpreter.
+	case kcmisa.Cut:
+		m.b = m.b0
+	case kcmisa.SaveB0:
+		m.e.ys[in.N] = &Cell{Kind: KChoice, Ch: m.b0}
+	case kcmisa.CutY:
+		c := m.e.ys[in.N]
+		if c == nil || c.Kind != KChoice {
+			m.err = fmt.Errorf("wam: cut_y on non-choice cell")
+			return
+		}
+		m.b = c.Ch
+
+	case kcmisa.SwitchOnTerm:
+		c := deref(m.regs[1])
+		var l int
+		switch c.Kind {
+		case KRef:
+			l = in.SwT.Var
+		case KList:
+			l = in.SwT.List
+		case KStruct:
+			l = in.SwT.Struct
+		default:
+			l = in.SwT.Const
+		}
+		m.branch(l)
+	case kcmisa.SwitchOnConst:
+		c := deref(m.regs[1])
+		for _, e := range in.Sw {
+			if m.matchConst(c, e.Key) {
+				m.branch(e.L)
+				return
+			}
+		}
+		m.branch(in.L)
+	case kcmisa.SwitchOnStruct:
+		c := deref(m.regs[1])
+		if c.Kind != KStruct {
+			m.fail()
+			return
+		}
+		for _, e := range in.Sw {
+			if c.Atom == m.syms.Name(e.Key.FunctorAtom()) && len(c.Args) == e.Key.FunctorArity() {
+				m.branch(e.L)
+				return
+			}
+		}
+		m.branch(in.L)
+
+	case kcmisa.GetVarX:
+		m.regs[in.R1] = m.regs[in.R2]
+	case kcmisa.GetValX:
+		if !m.unify(m.regs[in.R1], m.regs[in.R2]) {
+			m.fail()
+		}
+	case kcmisa.GetConst:
+		m.getConst(in.R2, in.K)
+	case kcmisa.GetNil:
+		m.getConst(in.R2, word.Nil())
+	case kcmisa.GetList:
+		c := deref(m.regs[in.R2])
+		switch c.Kind {
+		case KList:
+			m.s = c.Args
+			m.si = 0
+			m.mode = false
+		case KRef:
+			nc := mkList(mkVar(), mkVar())
+			m.bindCell(c, nc)
+			m.wargs = nc.Args
+			m.si = 0
+			m.mode = true
+		default:
+			m.fail()
+		}
+	case kcmisa.GetStruct:
+		c := deref(m.regs[in.R2])
+		name := m.syms.Name(in.K.FunctorAtom())
+		arity := in.K.FunctorArity()
+		switch c.Kind {
+		case KStruct:
+			if c.Atom != name || len(c.Args) != arity {
+				m.fail()
+				return
+			}
+			m.s = c.Args
+			m.si = 0
+			m.mode = false
+		case KRef:
+			args := make([]*Cell, arity)
+			for i := range args {
+				args[i] = mkVar()
+			}
+			m.bindCell(c, &Cell{Kind: KStruct, Atom: name, Args: args})
+			m.wargs = args
+			m.si = 0
+			m.mode = true
+		default:
+			m.fail()
+		}
+
+	case kcmisa.UnifyVarX:
+		if m.mode {
+			m.regs[in.R1] = m.wargs[m.si]
+			m.si++
+		} else {
+			m.regs[in.R1] = m.nextSub()
+		}
+	case kcmisa.UnifyVarY:
+		if m.mode {
+			m.e.ys[in.N] = m.wargs[m.si]
+			m.si++
+		} else {
+			m.e.ys[in.N] = m.nextSub()
+		}
+	case kcmisa.UnifyValX, kcmisa.UnifyLocX:
+		m.unifySub(m.regs[in.R1])
+	case kcmisa.UnifyValY, kcmisa.UnifyLocY:
+		m.unifySub(m.e.ys[in.N])
+	case kcmisa.UnifyConst:
+		m.unifySub(m.constCell(in.K))
+	case kcmisa.UnifyNil:
+		m.unifySub(mkNil())
+	case kcmisa.UnifyList:
+		if m.mode {
+			nc := mkList(mkVar(), mkVar())
+			m.wargs[m.si] = nc
+			m.wargs = nc.Args
+			m.si = 0
+		} else {
+			c := deref(m.s[m.si])
+			m.si++
+			switch c.Kind {
+			case KList:
+				m.s = c.Args
+				m.si = 0
+			case KRef:
+				nc := mkList(mkVar(), mkVar())
+				m.bindCell(c, nc)
+				m.wargs = nc.Args
+				m.si = 0
+				m.mode = true
+			default:
+				m.fail()
+			}
+		}
+	case kcmisa.UnifyVoid:
+		m.si += in.N
+
+	case kcmisa.PutVarX:
+		v := mkVar()
+		m.regs[in.R1] = v
+		m.regs[in.R2] = v
+	case kcmisa.PutVarY:
+		v := mkVar()
+		m.e.ys[in.N] = v
+		m.regs[in.R2] = v
+	case kcmisa.PutValX:
+		m.regs[in.R2] = m.regs[in.R1]
+	case kcmisa.PutValY, kcmisa.PutUnsafeY:
+		m.regs[in.R2] = m.e.ys[in.N]
+	case kcmisa.PutConst:
+		m.regs[in.R2] = m.constCell(in.K)
+	case kcmisa.PutNil:
+		m.regs[in.R2] = mkNil()
+	case kcmisa.PutList:
+		nc := mkList(mkVar(), mkVar())
+		m.regs[in.R2] = nc
+		m.wargs = nc.Args
+		m.si = 0
+		m.mode = true
+	case kcmisa.PutStruct:
+		arity := in.K.FunctorArity()
+		args := make([]*Cell, arity)
+		for i := range args {
+			args[i] = mkVar()
+		}
+		m.regs[in.R2] = &Cell{Kind: KStruct, Atom: m.syms.Name(in.K.FunctorAtom()), Args: args}
+		m.wargs = args
+		m.si = 0
+		m.mode = true
+	case kcmisa.MoveXY:
+		m.e.ys[in.N] = m.regs[in.R1]
+	case kcmisa.MoveYX:
+		m.regs[in.R1] = m.e.ys[in.N]
+
+	case kcmisa.LoadConst:
+		m.regs[in.R1] = m.constCell(in.K)
+	case kcmisa.Add, kcmisa.Sub, kcmisa.Mul, kcmisa.Div, kcmisa.Mod,
+		kcmisa.Rem, kcmisa.Band, kcmisa.Bor, kcmisa.Bxor, kcmisa.Shl,
+		kcmisa.Shr, kcmisa.MinOp, kcmisa.MaxOp:
+		m.arith(in)
+	case kcmisa.Abs:
+		a, ok := m.numArg(m.regs[in.R1])
+		if !ok {
+			return
+		}
+		if a.isFloat {
+			f := a.f
+			if f < 0 {
+				f = -f
+			}
+			m.regs[in.R3] = mkFloat(f)
+		} else {
+			v := a.i
+			if v < 0 {
+				v = -v
+			}
+			m.regs[in.R3] = mkInt(v)
+		}
+	case kcmisa.CmpLt, kcmisa.CmpLe, kcmisa.CmpGt, kcmisa.CmpGe, kcmisa.CmpEq, kcmisa.CmpNe:
+		m.compare(in)
+	case kcmisa.TestVar, kcmisa.TestNonvar, kcmisa.TestAtom, kcmisa.TestInteger, kcmisa.TestAtomic:
+		m.typeTest(in)
+	case kcmisa.IdentEq:
+		if !identical(m.regs[in.R1], m.regs[in.R2]) {
+			m.fail()
+		}
+	case kcmisa.IdentNe:
+		if identical(m.regs[in.R1], m.regs[in.R2]) {
+			m.fail()
+		}
+	case kcmisa.UnifyRegs:
+		if !m.unify(m.regs[in.R1], m.regs[in.R2]) {
+			m.fail()
+		}
+	case kcmisa.Builtin:
+		m.Inferences++
+		m.builtin(in.N)
+	default:
+		m.err = fmt.Errorf("wam: illegal opcode %v", in.Op)
+	}
+}
+
+func (m *Machine) branch(l int) {
+	if l == kcmisa.FailLabel {
+		m.fail()
+		return
+	}
+	m.p = l
+}
+
+// unifySub unifies a value with the next subterm slot. In write mode
+// the fresh slot variable is simply bound.
+func (m *Machine) unifySub(v *Cell) {
+	var slot *Cell
+	if m.mode {
+		slot = m.wargs[m.si]
+	} else {
+		slot = m.s[m.si]
+	}
+	m.si++
+	if !m.unify(slot, v) {
+		m.fail()
+	}
+}
+
+func (m *Machine) unify(a, b *Cell) bool {
+	a, b = deref(a), deref(b)
+	if a == b {
+		return true
+	}
+	if a.Kind == KRef {
+		m.bindCell(a, b)
+		return true
+	}
+	if b.Kind == KRef {
+		m.bindCell(b, a)
+		return true
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KAtom:
+		return a.Atom == b.Atom
+	case KInt:
+		return a.Int == b.Int
+	case KFloat:
+		return a.F == b.F
+	case KNil:
+		return true
+	case KList:
+		return m.unify(a.Args[0], b.Args[0]) && m.unify(a.Args[1], b.Args[1])
+	case KStruct:
+		if a.Atom != b.Atom || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !m.unify(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func identical(a, b *Cell) bool {
+	a, b = deref(a), deref(b)
+	if a == b {
+		return true
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KRef:
+		return false
+	case KAtom:
+		return a.Atom == b.Atom
+	case KInt:
+		return a.Int == b.Int
+	case KFloat:
+		return a.F == b.F
+	case KNil:
+		return true
+	case KList, KStruct:
+		if a.Atom != b.Atom || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !identical(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,400 @@
+package wam
+
+import (
+	"fmt"
+
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+)
+
+// num is the evaluated value of an arithmetic operand.
+type num struct {
+	isFloat bool
+	i       int32
+	f       float32
+}
+
+func (m *Machine) numArg(c *Cell) (num, bool) {
+	c = deref(c)
+	switch c.Kind {
+	case KInt:
+		return num{i: c.Int}, true
+	case KFloat:
+		return num{isFloat: true, f: c.F}, true
+	default:
+		m.err = fmt.Errorf("wam: arithmetic on %v", m.readTerm(c, 8))
+		return num{}, false
+	}
+}
+
+func (m *Machine) arith(in kcmisa.Instr) {
+	a, ok := m.numArg(m.regs[in.R1])
+	if !ok {
+		return
+	}
+	b, ok := m.numArg(m.regs[in.R2])
+	if !ok {
+		return
+	}
+	if a.isFloat || b.isFloat {
+		af, bf := a.f, b.f
+		if !a.isFloat {
+			af = float32(a.i)
+		}
+		if !b.isFloat {
+			bf = float32(b.i)
+		}
+		var r float32
+		switch in.Op {
+		case kcmisa.Add:
+			r = af + bf
+		case kcmisa.Sub:
+			r = af - bf
+		case kcmisa.Mul:
+			r = af * bf
+		case kcmisa.Div:
+			if bf == 0 {
+				m.err = fmt.Errorf("wam: float division by zero")
+				return
+			}
+			r = af / bf
+		case kcmisa.MinOp:
+			r = af
+			if bf < r {
+				r = bf
+			}
+		case kcmisa.MaxOp:
+			r = af
+			if bf > r {
+				r = bf
+			}
+		default:
+			m.err = fmt.Errorf("wam: %v on floats", in.Op)
+			return
+		}
+		m.regs[in.R3] = mkFloat(r)
+		return
+	}
+	var r int32
+	switch in.Op {
+	case kcmisa.Add:
+		r = a.i + b.i
+	case kcmisa.Sub:
+		r = a.i - b.i
+	case kcmisa.Mul:
+		r = a.i * b.i
+	case kcmisa.Div:
+		if b.i == 0 {
+			m.err = fmt.Errorf("wam: division by zero")
+			return
+		}
+		r = a.i / b.i
+	case kcmisa.Mod:
+		if b.i == 0 {
+			m.err = fmt.Errorf("wam: mod by zero")
+			return
+		}
+		r = a.i % b.i
+		if r != 0 && (r < 0) != (b.i < 0) {
+			r += b.i
+		}
+	case kcmisa.Rem:
+		if b.i == 0 {
+			m.err = fmt.Errorf("wam: rem by zero")
+			return
+		}
+		r = a.i % b.i
+	case kcmisa.Band:
+		r = a.i & b.i
+	case kcmisa.Bor:
+		r = a.i | b.i
+	case kcmisa.Bxor:
+		r = a.i ^ b.i
+	case kcmisa.Shl:
+		r = a.i << (uint32(b.i) & 31)
+	case kcmisa.Shr:
+		r = a.i >> (uint32(b.i) & 31)
+	case kcmisa.MinOp:
+		r = a.i
+		if b.i < r {
+			r = b.i
+		}
+	case kcmisa.MaxOp:
+		r = a.i
+		if b.i > r {
+			r = b.i
+		}
+	}
+	m.regs[in.R3] = mkInt(r)
+}
+
+func (m *Machine) compare(in kcmisa.Instr) {
+	a, ok := m.numArg(m.regs[in.R1])
+	if !ok {
+		return
+	}
+	b, ok := m.numArg(m.regs[in.R2])
+	if !ok {
+		return
+	}
+	var cmp int
+	if a.isFloat || b.isFloat {
+		af, bf := a.f, b.f
+		if !a.isFloat {
+			af = float32(a.i)
+		}
+		if !b.isFloat {
+			bf = float32(b.i)
+		}
+		switch {
+		case af < bf:
+			cmp = -1
+		case af > bf:
+			cmp = 1
+		}
+	} else {
+		switch {
+		case a.i < b.i:
+			cmp = -1
+		case a.i > b.i:
+			cmp = 1
+		}
+	}
+	var hold bool
+	switch in.Op {
+	case kcmisa.CmpLt:
+		hold = cmp < 0
+	case kcmisa.CmpLe:
+		hold = cmp <= 0
+	case kcmisa.CmpGt:
+		hold = cmp > 0
+	case kcmisa.CmpGe:
+		hold = cmp >= 0
+	case kcmisa.CmpEq:
+		hold = cmp == 0
+	case kcmisa.CmpNe:
+		hold = cmp != 0
+	}
+	if !hold {
+		m.fail()
+	}
+}
+
+func (m *Machine) typeTest(in kcmisa.Instr) {
+	c := deref(m.regs[in.R1])
+	var hold bool
+	switch in.Op {
+	case kcmisa.TestVar:
+		hold = c.Kind == KRef
+	case kcmisa.TestNonvar:
+		hold = c.Kind != KRef
+	case kcmisa.TestAtom:
+		hold = c.Kind == KAtom || c.Kind == KNil
+	case kcmisa.TestInteger:
+		hold = c.Kind == KInt
+	case kcmisa.TestAtomic:
+		hold = c.Kind == KAtom || c.Kind == KNil || c.Kind == KInt || c.Kind == KFloat
+	}
+	if !hold {
+		m.fail()
+	}
+}
+
+func (m *Machine) builtin(id int) {
+	switch id {
+	case kcmisa.BIWrite:
+		fmt.Fprint(m.out, term.Display(m.readTerm(m.regs[1], 1_000_000)))
+	case kcmisa.BINl:
+		fmt.Fprintln(m.out)
+	case kcmisa.BITab:
+		c := deref(m.regs[1])
+		if c.Kind == KInt {
+			for i := int32(0); i < c.Int; i++ {
+				fmt.Fprint(m.out, " ")
+			}
+		}
+	case kcmisa.BIWriteln:
+		fmt.Fprintln(m.out, term.Display(m.readTerm(m.regs[1], 1_000_000)))
+	case kcmisa.BIHalt:
+		m.halted = true
+	case kcmisa.BIFunctor:
+		m.biFunctor()
+	case kcmisa.BIArg:
+		m.biArg()
+	case kcmisa.BIUniv:
+		m.biUniv()
+	case kcmisa.BICall:
+		m.biCall()
+	default:
+		m.err = fmt.Errorf("wam: unknown builtin %d", id)
+	}
+}
+
+func (m *Machine) biFunctor() {
+	t := deref(m.regs[1])
+	if t.Kind != KRef {
+		var name, arity *Cell
+		switch t.Kind {
+		case KList:
+			name = mkAtom(term.DotAtom)
+			arity = mkInt(2)
+		case KStruct:
+			name = mkAtom(t.Atom)
+			arity = mkInt(int32(len(t.Args)))
+		default:
+			name = t
+			arity = mkInt(0)
+		}
+		if !m.unify(m.regs[2], name) || !m.unify(m.regs[3], arity) {
+			m.fail()
+		}
+		return
+	}
+	name := deref(m.regs[2])
+	ar := deref(m.regs[3])
+	if ar.Kind != KInt {
+		m.err = fmt.Errorf("wam: functor/3 arity not integer")
+		return
+	}
+	if ar.Int == 0 {
+		if !m.unify(t, name) {
+			m.fail()
+		}
+		return
+	}
+	if name.Kind != KAtom {
+		m.err = fmt.Errorf("wam: functor/3 name not atom")
+		return
+	}
+	args := make([]*Cell, ar.Int)
+	for i := range args {
+		args[i] = mkVar()
+	}
+	if !m.unify(t, &Cell{Kind: KStruct, Atom: name.Atom, Args: args}) {
+		m.fail()
+	}
+}
+
+func (m *Machine) biArg() {
+	n := deref(m.regs[1])
+	t := deref(m.regs[2])
+	if n.Kind != KInt {
+		m.err = fmt.Errorf("wam: arg/3 index not integer")
+		return
+	}
+	var args []*Cell
+	switch t.Kind {
+	case KList, KStruct:
+		args = t.Args
+	default:
+		m.fail()
+		return
+	}
+	if n.Int < 1 || int(n.Int) > len(args) {
+		m.fail()
+		return
+	}
+	if !m.unify(m.regs[3], args[n.Int-1]) {
+		m.fail()
+	}
+}
+
+func (m *Machine) biUniv() {
+	t := deref(m.regs[1])
+	if t.Kind != KRef {
+		var elems []*Cell
+		switch t.Kind {
+		case KList:
+			elems = append([]*Cell{mkAtom(term.DotAtom)}, t.Args...)
+		case KStruct:
+			elems = append([]*Cell{mkAtom(t.Atom)}, t.Args...)
+		default:
+			elems = []*Cell{t}
+		}
+		lst := mkNil()
+		for i := len(elems) - 1; i >= 0; i-- {
+			lst = mkList(elems[i], lst)
+		}
+		if !m.unify(m.regs[2], lst) {
+			m.fail()
+		}
+		return
+	}
+	var elems []*Cell
+	l := deref(m.regs[2])
+	for l.Kind == KList {
+		elems = append(elems, deref(l.Args[0]))
+		l = deref(l.Args[1])
+	}
+	if l.Kind != KNil || len(elems) == 0 {
+		m.err = fmt.Errorf("wam: =../2 bad list")
+		return
+	}
+	name, args := elems[0], elems[1:]
+	var result *Cell
+	switch {
+	case len(args) == 0:
+		result = name
+	case name.Kind == KAtom:
+		result = &Cell{Kind: KStruct, Atom: name.Atom, Args: args}
+	default:
+		m.err = fmt.Errorf("wam: =../2 name not atom")
+		return
+	}
+	if !m.unify(t, result) {
+		m.fail()
+	}
+}
+
+// readTerm converts a cell back to a source-level term.
+func (m *Machine) readTerm(c *Cell, depth int) term.Term {
+	if depth <= 0 {
+		return term.Atom("...")
+	}
+	c = deref(c)
+	switch c.Kind {
+	case KRef:
+		return term.Var(fmt.Sprintf("_G%p", c))
+	case KAtom:
+		return c.Atom
+	case KInt:
+		return term.Int(c.Int)
+	case KFloat:
+		return term.Float(c.F)
+	case KNil:
+		return term.NilAtom
+	case KList:
+		return term.Cons(m.readTerm(c.Args[0], depth-1), m.readTerm(c.Args[1], depth-1))
+	case KStruct:
+		args := make([]term.Term, len(c.Args))
+		for i, a := range c.Args {
+			args[i] = m.readTerm(a, depth-1)
+		}
+		return term.New(c.Atom, args...)
+	}
+	return term.Atom("<bad cell>")
+}
+
+// biCall implements call/1 on the reference interpreter.
+func (m *Machine) biCall() {
+	g := deref(m.regs[1])
+	var pi term.Indicator
+	switch g.Kind {
+	case KAtom:
+		pi = term.Ind(g.Atom, 0)
+	case KStruct:
+		pi = term.Ind(g.Atom, len(g.Args))
+		copy(m.regs[1:1+len(g.Args)], g.Args)
+	default:
+		m.err = fmt.Errorf("wam: call/1 on %v", m.readTerm(g, 8))
+		return
+	}
+	entry, ok := m.entries[pi]
+	if !ok {
+		m.err = fmt.Errorf("wam: call/1: undefined %v", pi)
+		return
+	}
+	m.cp = m.p
+	m.b0 = m.b
+	m.p = entry
+}

@@ -1,0 +1,203 @@
+// Package wam is a reference interpreter for the compiler's
+// instruction set: a standard (eager choice-point) WAM built on
+// Go-native cells and garbage collection instead of the KCM's tagged
+// stacks, caches and shadow registers. It is deliberately a second,
+// structurally different implementation of the same semantics; the
+// differential tests assert that the KCM machine and this interpreter
+// agree on every answer and on the inference count of every
+// benchmark.
+package wam
+
+import (
+	"fmt"
+	"io"
+	"repro/internal/compiler"
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+)
+
+// Cell is one Prolog value node.
+type Cell struct {
+	Kind Kind
+	Ref  *Cell   // bound value (Kind == KRef, Ref != nil)
+	Int  int32   // KInt
+	F    float32 // KFloat
+	Atom term.Atom
+	Args []*Cell // KStruct (Atom/Arity = functor), KList (2 args)
+	Ch   *choice // KChoice: saved cut barrier
+}
+
+// Kind discriminates cell contents.
+type Kind uint8
+
+// Cell kinds.
+const (
+	KRef Kind = iota // unbound when Ref == nil
+	KAtom
+	KInt
+	KFloat
+	KNil
+	KList
+	KStruct
+	KChoice // saved cut barrier in an environment slot
+)
+
+func mkInt(v int32) *Cell      { return &Cell{Kind: KInt, Int: v} }
+func mkAtom(a term.Atom) *Cell { return &Cell{Kind: KAtom, Atom: a} }
+func mkVar() *Cell             { return &Cell{Kind: KRef} }
+func mkNil() *Cell             { return &Cell{Kind: KNil} }
+func mkFloat(f float32) *Cell  { return &Cell{Kind: KFloat, F: f} }
+func mkList(h, t *Cell) *Cell  { return &Cell{Kind: KList, Args: []*Cell{h, t}} }
+
+func deref(c *Cell) *Cell {
+	for c.Kind == KRef && c.Ref != nil {
+		c = c.Ref
+	}
+	return c
+}
+
+// env is an environment frame.
+type env struct {
+	prev *env
+	cp   int
+	ys   []*Cell
+}
+
+// choice is a choice point.
+type choice struct {
+	prev  *choice
+	next  int // code index of the alternative
+	e     *env
+	cp    int
+	args  []*Cell
+	trail int
+	b0    *choice
+}
+
+// Machine is the interpreter state.
+type Machine struct {
+	code    []kcmisa.Instr
+	entries map[term.Indicator]int
+	syms    *term.SymTab
+
+	regs  [kcmisa.NumRegs]*Cell
+	p     int
+	cp    int
+	e     *env
+	b     *choice
+	b0    *choice
+	trail []*Cell
+	s     []*Cell // current structure arguments (read mode)
+	si    int     // next subterm index
+	mode  bool    // write mode
+	wargs []*Cell // write-mode target argument slice
+
+	halted bool
+	failed bool
+	err    error
+
+	out        io.Writer
+	maxSteps   uint64
+	Inferences uint64
+	Calls      uint64
+}
+
+// Link flattens a compiled module into interpreter code with labels
+// resolved to instruction indices.
+func Link(m *compiler.Module) ([]kcmisa.Instr, map[term.Indicator]int, error) {
+	var code []kcmisa.Instr
+	entries := map[term.Indicator]int{}
+	// halt_fail bootstrap at index 0.
+	code = append(code, kcmisa.Instr{Op: kcmisa.HaltFail})
+	bases := map[term.Indicator]int{}
+	for _, pi := range m.Order {
+		bases[pi] = len(code)
+		entries[pi] = len(code)
+		code = append(code, m.Preds[pi].Code...)
+	}
+	// Resolve labels.
+	for _, pi := range m.Order {
+		base := bases[pi]
+		n := len(m.Preds[pi].Code)
+		fix := func(l int) (int, error) {
+			if l == kcmisa.FailLabel {
+				return kcmisa.FailLabel, nil
+			}
+			if l < 0 || l >= n {
+				return 0, fmt.Errorf("wam: %v: label %d out of range", pi, l)
+			}
+			return base + l, nil
+		}
+		for i := base; i < base+n; i++ {
+			in := &code[i]
+			switch in.Op {
+			case kcmisa.Call, kcmisa.Execute:
+				t, ok := entries[in.Proc]
+				if !ok {
+					return nil, nil, fmt.Errorf("wam: undefined predicate %v", in.Proc)
+				}
+				in.L = t
+			case kcmisa.TryMeElse, kcmisa.RetryMeElse, kcmisa.Try, kcmisa.Retry,
+				kcmisa.Trust, kcmisa.Jump:
+				l, err := fix(in.L)
+				if err != nil {
+					return nil, nil, err
+				}
+				in.L = l
+			case kcmisa.SwitchOnTerm:
+				t := *in.SwT
+				var err error
+				if t.Var, err = fix(t.Var); err != nil {
+					return nil, nil, err
+				}
+				if t.Const, err = fix(t.Const); err != nil {
+					return nil, nil, err
+				}
+				if t.List, err = fix(t.List); err != nil {
+					return nil, nil, err
+				}
+				if t.Struct, err = fix(t.Struct); err != nil {
+					return nil, nil, err
+				}
+				in.SwT = &t
+			case kcmisa.SwitchOnConst, kcmisa.SwitchOnStruct:
+				l, err := fix(in.L)
+				if err != nil {
+					return nil, nil, err
+				}
+				in.L = l
+				sw := make([]kcmisa.SwEntry, len(in.Sw))
+				for k, e := range in.Sw {
+					l, err := fix(e.L)
+					if err != nil {
+						return nil, nil, err
+					}
+					sw[k] = kcmisa.SwEntry{Key: e.Key, L: l}
+				}
+				in.Sw = sw
+			}
+		}
+	}
+	return code, entries, nil
+}
+
+// New builds an interpreter for a compiled module.
+func New(m *compiler.Module, out io.Writer) (*Machine, error) {
+	code, entries, err := Link(m)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	return &Machine{
+		code:     code,
+		entries:  entries,
+		syms:     m.Syms,
+		out:      out,
+		maxSteps: 2_000_000_000,
+	}, nil
+}
+
+// SetMaxSteps bounds execution.
+func (m *Machine) SetMaxSteps(n uint64) { m.maxSteps = n }

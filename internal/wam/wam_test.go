@@ -1,0 +1,157 @@
+package wam
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/reader"
+	"repro/internal/term"
+)
+
+func build(t *testing.T, src, query string) (*Machine, map[term.Var]int) {
+	t.Helper()
+	clauses, err := reader.ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compiler.New(nil)
+	mod, err := c.CompileProgram(clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal, err := reader.ParseTerm(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompileQuery(mod, goal); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(mod, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mod.QueryVars
+}
+
+func TestRunQueryBindings(t *testing.T) {
+	m, qv := build(t, "p(1, one).\np(2, two).\n", "p(2, W).")
+	res, err := m.RunQuery(qv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("query failed")
+	}
+	if res.Bindings[term.Var("W")].String() != "two" {
+		t.Fatalf("W = %v", res.Bindings[term.Var("W")])
+	}
+}
+
+func TestDerefChains(t *testing.T) {
+	a := mkVar()
+	b := mkVar()
+	c := mkInt(7)
+	a.Ref = b
+	b.Ref = c
+	if got := deref(a); got != c {
+		t.Fatalf("deref got %v", got)
+	}
+	if deref(c) != c {
+		t.Fatal("deref of value must be identity")
+	}
+	u := mkVar()
+	if deref(u) != u {
+		t.Fatal("deref of unbound must be itself")
+	}
+}
+
+func TestUnifyAndTrail(t *testing.T) {
+	m := &Machine{}
+	x, y := mkVar(), mkVar()
+	if !m.unify(x, mkInt(3)) {
+		t.Fatal("var-int unify failed")
+	}
+	if !m.unify(y, x) {
+		t.Fatal("var-var unify failed")
+	}
+	if deref(y).Int != 3 {
+		t.Fatal("binding did not propagate")
+	}
+	if len(m.trail) != 2 {
+		t.Fatalf("trail has %d entries", len(m.trail))
+	}
+	m.unwind(0)
+	if deref(x).Kind != KRef || deref(y).Kind != KRef {
+		t.Fatal("unwind did not unbind")
+	}
+	if m.unify(mkList(mkInt(1), mkNil()), mkList(mkInt(2), mkNil())) {
+		t.Fatal("distinct lists unified")
+	}
+	if !m.unify(
+		&Cell{Kind: KStruct, Atom: "f", Args: []*Cell{mkVar()}},
+		&Cell{Kind: KStruct, Atom: "f", Args: []*Cell{mkAtom("a")}}) {
+		t.Fatal("struct unify failed")
+	}
+	if m.unify(
+		&Cell{Kind: KStruct, Atom: "f", Args: []*Cell{mkVar()}},
+		&Cell{Kind: KStruct, Atom: "g", Args: []*Cell{mkVar()}}) {
+		t.Fatal("different functors unified")
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	x := mkVar()
+	if !identical(x, x) {
+		t.Fatal("a var is identical to itself")
+	}
+	if identical(mkVar(), mkVar()) {
+		t.Fatal("distinct vars are not identical")
+	}
+	l1 := mkList(mkInt(1), mkNil())
+	l2 := mkList(mkInt(1), mkNil())
+	if !identical(l1, l2) {
+		t.Fatal("equal ground lists are identical")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m, qv := build(t, "spin :- spin.\n", "spin.")
+	m.SetMaxSteps(500)
+	if _, err := m.RunQuery(qv); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("want step-limit error, got %v", err)
+	}
+}
+
+func TestLinkUndefined(t *testing.T) {
+	clauses, _ := reader.ParseAll("p :- nothere.\n")
+	mod, err := compiler.New(nil).CompileProgram(clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(mod, nil); err == nil {
+		t.Fatal("undefined predicate must fail to link")
+	}
+}
+
+func TestWriteOutput(t *testing.T) {
+	clauses, _ := reader.ParseAll("ok.\n")
+	c := compiler.New(nil)
+	mod, _ := c.CompileProgram(clauses)
+	goal, _ := reader.ParseTerm("write(f(1, [a, B])), nl.")
+	if err := c.CompileQuery(mod, goal); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	m, err := New(mod, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunQuery(nil)
+	if err != nil || !res.Success {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "f(1,[a,_G") {
+		t.Fatalf("output %q", out.String())
+	}
+}
