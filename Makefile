@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test verify vet fmt bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The tier-1 gate: formatting, vet, build, race-enabled tests, and the
+# static bytecode verifier over the examples and the benchmark suite.
+verify:
+	sh scripts/verify.sh
+
+vet:
+	$(GO) run ./cmd/kcmvet -bench examples/*/main.go
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) run ./cmd/kcmbench

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+
+	"repro/internal/reader"
+)
+
+// EmbeddedProgram is a Prolog program found inside a Go source file.
+type EmbeddedProgram struct {
+	Name   string // name of the declaring constant or variable
+	Source string
+}
+
+// extractPrograms scans a Go source file for top-level constant or
+// variable declarations whose value is a single backquoted string
+// literal that parses as at least one Prolog clause — the convention
+// the example programs use to embed their Prolog source.
+func extractPrograms(path string) ([]EmbeddedProgram, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []EmbeddedProgram
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || (gd.Tok != token.CONST && gd.Tok != token.VAR) {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != len(vs.Values) {
+				continue
+			}
+			for i, v := range vs.Values {
+				lit, ok := v.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING || !strings.HasPrefix(lit.Value, "`") {
+					continue
+				}
+				src := strings.Trim(lit.Value, "`")
+				clauses, err := reader.ParseAll(src)
+				if err != nil || len(clauses) == 0 {
+					continue
+				}
+				out = append(out, EmbeddedProgram{Name: vs.Names[i].Name, Source: src})
+			}
+		}
+	}
+	return out, nil
+}

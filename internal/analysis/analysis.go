@@ -1,0 +1,389 @@
+package analysis
+
+import (
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+)
+
+// AnalyzePred runs every flow check over one predicate's pre-link
+// code (labels are instruction indices) and returns the findings.
+func AnalyzePred(pi term.Indicator, code []kcmisa.Instr) []Diag {
+	u := &Unit{PI: pi, Arity: pi.Arity, Code: code}
+	return u.Analyze()
+}
+
+// Analyze runs the full pass pipeline: structural checks and label
+// validity, CFG construction, reachability, X-register must-init
+// dataflow, permanent-variable environment dataflow, and choice-point
+// chain discipline. Diagnostics from later passes are only meaningful
+// when the earlier ones are clean, so analysis stops after the first
+// stage that reports.
+func (u *Unit) Analyze() []Diag {
+	if len(u.Code) == 0 {
+		return []Diag{u.diag(0, FallsOff, "empty code unit")}
+	}
+	ds := u.checkStructure()
+	ds = append(ds, u.checkTargets()...)
+	if len(ds) > 0 {
+		return ds
+	}
+	g := u.buildCFG()
+	ds = g.connect()
+	if len(ds) > 0 {
+		return ds
+	}
+	live := g.reachable()
+	for bi, b := range g.blocks {
+		if !live[bi] {
+			ds = append(ds, u.diag(b.start, Unreachable,
+				"block at +%d is unreachable", b.start))
+		}
+	}
+	ds = append(ds, g.checkChain(live)...)
+	ds = append(ds, g.checkRegs(live)...)
+	ds = append(ds, g.checkEnv(live)...)
+	return ds
+}
+
+// checkStructure validates per-instruction operand ranges that do not
+// need flow information.
+func (u *Unit) checkStructure() []Diag {
+	var ds []Diag
+	for i, in := range u.Code {
+		if in.Op >= kcmisa.NumOps {
+			ds = append(ds, u.diag(i, BadOpcode, "undefined opcode %d", uint8(in.Op)))
+			continue
+		}
+		if in.Op == kcmisa.Builtin && (in.N < 1 || in.N >= kcmisa.NumBuiltins) {
+			ds = append(ds, u.diag(i, BadBuiltin, "undefined built-in number %d", in.N))
+		}
+	}
+	return ds
+}
+
+// ---- X-register must-init dataflow ----
+
+// entrySet is the registers guaranteed to hold values at clause entry:
+// the argument registers plus the microcode scratch register X0.
+func (u *Unit) entrySet() RegSet {
+	return RegsThrough(u.Arity) | 1
+}
+
+// xTransfer advances the must-initialised set across one instruction,
+// reporting any use of an unwritten register to report (nil during
+// fixpoint iteration).
+func (u *Unit) xTransfer(i int, set RegSet, report *[]Diag) RegSet {
+	e := InstrEffects(u.Code[i])
+	if bad := e.Uses &^ set; bad != 0 && report != nil {
+		*report = append(*report, u.diag(i, UseBeforeDef,
+			"%v reads %v before any definition", u.Code[i].Op, bad))
+	}
+	if e.KillsAll {
+		// Call boundary: the continuation may not assume register
+		// contents (the compiler's resetTemps point).
+		set = 0
+	}
+	return set | e.Defs
+}
+
+// checkRegs is a forward must-init analysis over the X register file:
+// meet is intersection, an alternative edge supplies exactly the
+// argument registers the choice point restores on backtracking.
+func (g *cfg) checkRegs(live []bool) []Diag {
+	u := g.u
+	in := make([]RegSet, len(g.blocks))
+	for bi := range in {
+		in[bi] = AllRegs
+	}
+	in[0] = u.entrySet()
+	out := make([]RegSet, len(g.blocks))
+	for bi := range g.blocks {
+		s := in[bi]
+		for i := g.blocks[bi].start; i < g.blocks[bi].end; i++ {
+			s = u.xTransfer(i, s, nil)
+		}
+		out[bi] = s
+	}
+	changed := true
+	for changed {
+		changed = false
+		for bi := range g.blocks {
+			if !live[bi] {
+				continue
+			}
+			s := AllRegs
+			if bi == 0 {
+				s = u.entrySet()
+			}
+			for _, e := range g.blocks[bi].preds {
+				if e.kind == edgeAlt {
+					s &= RegsThrough(e.arity) | 1
+				} else {
+					s &= out[e.to]
+				}
+			}
+			if s != in[bi] {
+				in[bi] = s
+				changed = true
+			}
+			for i := g.blocks[bi].start; i < g.blocks[bi].end; i++ {
+				s = u.xTransfer(i, s, nil)
+			}
+			if s != out[bi] {
+				out[bi] = s
+				changed = true
+			}
+		}
+	}
+	var ds []Diag
+	for bi := range g.blocks {
+		if !live[bi] {
+			continue
+		}
+		s := in[bi]
+		for i := g.blocks[bi].start; i < g.blocks[bi].end; i++ {
+			s = u.xTransfer(i, s, &ds)
+		}
+	}
+	return ds
+}
+
+// ---- permanent-variable environment dataflow ----
+
+type envMode int
+
+const (
+	envTop   envMode = iota // unvisited
+	envNone                 // no environment allocated
+	envAlloc                // environment of known size
+	envClash                // conflicting states met at a join
+)
+
+// ySlots tracks initialised permanent variables; environments beyond
+// maxY slots are bounds-checked only.
+const maxY = 256
+
+type ySlots [maxY / 64]uint64
+
+func (s ySlots) has(n int) bool { return n < maxY && s[n/64]&(1<<uint(n%64)) != 0 }
+
+func (s *ySlots) add(n int) {
+	if n >= 0 && n < maxY {
+		s[n/64] |= 1 << uint(n%64)
+	}
+}
+
+func (s ySlots) and(t ySlots) ySlots {
+	var r ySlots
+	for i := range r {
+		r[i] = s[i] & t[i]
+	}
+	return r
+}
+
+type envState struct {
+	mode envMode
+	size int
+	init ySlots
+}
+
+func meetEnv(a, b envState) envState {
+	switch {
+	case a.mode == envTop:
+		return b
+	case b.mode == envTop:
+		return a
+	case a.mode == envClash || b.mode == envClash:
+		return envState{mode: envClash}
+	case a.mode != b.mode || (a.mode == envAlloc && a.size != b.size):
+		return envState{mode: envClash}
+	case a.mode == envAlloc:
+		return envState{mode: envAlloc, size: a.size, init: a.init.and(b.init)}
+	default:
+		return a
+	}
+}
+
+// envTransfer advances the environment state across one instruction.
+func (u *Unit) envTransfer(i int, s envState, report *[]Diag) envState {
+	in := u.Code[i]
+	emit := func(c Check, format string, args ...any) {
+		if report != nil {
+			*report = append(*report, u.diag(i, c, format, args...))
+		}
+	}
+	if s.mode == envClash {
+		// State is unknown after a conflicting join; only a fresh
+		// allocate re-establishes tracking.
+		if in.Op == kcmisa.Allocate {
+			return envState{mode: envAlloc, size: in.N}
+		}
+		return s
+	}
+	switch in.Op {
+	case kcmisa.Allocate:
+		if s.mode == envAlloc {
+			emit(EnvMisuse, "allocate inside an active environment")
+		}
+		return envState{mode: envAlloc, size: in.N}
+	case kcmisa.Deallocate:
+		if s.mode != envAlloc {
+			emit(EnvMisuse, "deallocate without an environment")
+			return s
+		}
+		return envState{mode: envNone}
+	case kcmisa.Proceed, kcmisa.Execute:
+		// Halt and Fail are exempt: a query clause stops the machine
+		// with its environment intact, and failure discards it.
+		if s.mode == envAlloc {
+			emit(EnvMisuse, "%v with environment still allocated", in.Op)
+		}
+		return s
+	}
+	switch eff, slot := yAccess(in); eff {
+	case yWrite:
+		if s.mode != envAlloc {
+			emit(EnvMisuse, "%v without an environment", in.Op)
+			return s
+		}
+		if slot < 0 || slot >= s.size {
+			emit(EnvMisuse, "%v writes Y%d outside environment of size %d",
+				in.Op, slot, s.size)
+			return s
+		}
+		s.init.add(slot)
+	case yRead:
+		if s.mode != envAlloc {
+			emit(EnvMisuse, "%v without an environment", in.Op)
+			return s
+		}
+		if slot < 0 || slot >= s.size {
+			emit(UninitY, "%v reads Y%d outside environment of size %d",
+				in.Op, slot, s.size)
+			return s
+		}
+		if slot < maxY && !s.init.has(slot) {
+			emit(UninitY, "%v reads Y%d before it is initialised", in.Op, slot)
+		}
+	}
+	return s
+}
+
+// checkEnv is a forward dataflow over the environment state: allocate
+// opens, deallocate closes, every Y access needs an open environment
+// with an initialised in-range slot, and an alternative edge re-enters
+// with the clause-entry state (the machine restores E from the choice
+// point, discarding any environment the failed attempt allocated).
+func (g *cfg) checkEnv(live []bool) []Diag {
+	u := g.u
+	in := make([]envState, len(g.blocks))
+	out := make([]envState, len(g.blocks))
+	in[0] = envState{mode: envNone}
+	changed := true
+	for changed {
+		changed = false
+		for bi := range g.blocks {
+			if !live[bi] {
+				continue
+			}
+			var s envState
+			if bi == 0 {
+				s = envState{mode: envNone}
+			}
+			for _, e := range g.blocks[bi].preds {
+				if e.kind == edgeAlt {
+					s = meetEnv(s, envState{mode: envNone})
+				} else {
+					s = meetEnv(s, out[e.to])
+				}
+			}
+			if s != in[bi] {
+				in[bi] = s
+				changed = true
+			}
+			for i := g.blocks[bi].start; i < g.blocks[bi].end; i++ {
+				s = u.envTransfer(i, s, nil)
+			}
+			if s != out[bi] {
+				out[bi] = s
+				changed = true
+			}
+		}
+	}
+	var ds []Diag
+	for bi := range g.blocks {
+		if !live[bi] {
+			continue
+		}
+		s := in[bi]
+		if s.mode == envClash {
+			ds = append(ds, u.diag(g.blocks[bi].start, EnvMisuse,
+				"conflicting environment states meet at +%d", g.blocks[bi].start))
+		}
+		for i := g.blocks[bi].start; i < g.blocks[bi].end; i++ {
+			s = u.envTransfer(i, s, &ds)
+		}
+	}
+	return ds
+}
+
+// ---- choice-point chain discipline ----
+
+// altHead reports whether an instruction may only be entered through
+// an alternative (backtracking) edge.
+func altHead(op kcmisa.Op) bool {
+	switch op {
+	case kcmisa.RetryMeElse, kcmisa.TrustMe, kcmisa.Retry, kcmisa.Trust:
+		return true
+	}
+	return false
+}
+
+// checkChain enforces the structural discipline of alternative chains:
+// a retry/trust instruction heads a block, is reached only through
+// alternative edges, and agrees with each choice point's saved arity.
+// Numeric choice-point counting is unsound here — a single-member
+// switch bucket enters a clause body with no choice point while a
+// try chain enters the same body with one — so the analyzer checks
+// the chain shape instead.
+func (g *cfg) checkChain(live []bool) []Diag {
+	u := g.u
+	var ds []Diag
+	for bi, b := range g.blocks {
+		if !live[bi] {
+			continue
+		}
+		for i := b.start + 1; i < b.end; i++ {
+			if altHead(u.Code[i].Op) {
+				ds = append(ds, u.diag(i, ChoiceChain,
+					"%v can be reached by fallthrough from +%d", u.Code[i].Op, i-1))
+			}
+		}
+		head := u.Code[b.start]
+		if altHead(head.Op) {
+			if bi == 0 {
+				ds = append(ds, u.diag(b.start, ChoiceChain,
+					"unit entry is the alternative instruction %v", head.Op))
+			}
+			for _, e := range b.preds {
+				from := g.blocks[e.to].end - 1
+				if e.kind != edgeAlt {
+					ds = append(ds, u.diag(b.start, ChoiceChain,
+						"%v entered by normal control flow from +%d", head.Op, from))
+				} else if e.arity != head.N {
+					ds = append(ds, u.diag(b.start, ChoiceChain,
+						"%v arity %d does not match choice point arity %d saved at +%d",
+						head.Op, head.N, e.arity, from))
+				}
+			}
+		}
+		for _, e := range b.succs {
+			if e.kind == edgeAlt && !altHead(u.Code[g.blocks[e.to].start].Op) {
+				ds = append(ds, u.diag(b.end-1, ChoiceChain,
+					"alternative continuation +%d is %v, not a retry/trust",
+					g.blocks[e.to].start, u.Code[g.blocks[e.to].start].Op))
+			}
+		}
+	}
+	return ds
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+)
+
+func findCheck(ds []Diag, c Check) bool {
+	for _, d := range ds {
+		if d.Check == c {
+			return true
+		}
+	}
+	return false
+}
+
+func diagString(ds []Diag) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteString("; ")
+	}
+	return b.String()
+}
+
+// analyze runs the analyzer over a hand-built unit of the given arity.
+func analyze(arity int, code ...kcmisa.Instr) []Diag {
+	return AnalyzePred(term.Ind("t", arity), code)
+}
+
+func TestCleanUnit(t *testing.T) {
+	// t(X) :- p(X).  — single clause, no environment.
+	ds := analyze(1,
+		kcmisa.Instr{Op: kcmisa.GetVarX, R1: 5, R2: 1},
+		kcmisa.Instr{Op: kcmisa.PutValX, R1: 5, R2: 1},
+		kcmisa.Instr{Op: kcmisa.Execute, N: 1, L: kcmisa.FailLabel},
+	)
+	if len(ds) != 0 {
+		t.Fatalf("clean unit reported: %s", diagString(ds))
+	}
+}
+
+func TestUseBeforeDefX(t *testing.T) {
+	// X5 is read without ever being written (arity 1: only A1 is live).
+	ds := analyze(1,
+		kcmisa.Instr{Op: kcmisa.PutValX, R1: 5, R2: 1},
+		kcmisa.Instr{Op: kcmisa.Proceed},
+	)
+	if !findCheck(ds, UseBeforeDef) {
+		t.Fatalf("want use-before-def, got: %s", diagString(ds))
+	}
+}
+
+func TestUseAfterCallBoundary(t *testing.T) {
+	// X5 is defined, but a call kills every register before the read.
+	ds := analyze(1,
+		kcmisa.Instr{Op: kcmisa.GetVarX, R1: 5, R2: 1},
+		kcmisa.Instr{Op: kcmisa.PutValX, R1: 5, R2: 1},
+		kcmisa.Instr{Op: kcmisa.Call, N: 1, L: kcmisa.FailLabel},
+		kcmisa.Instr{Op: kcmisa.PutValX, R1: 5, R2: 1},
+		kcmisa.Instr{Op: kcmisa.Execute, N: 1, L: kcmisa.FailLabel},
+	)
+	if !findCheck(ds, UseBeforeDef) {
+		t.Fatalf("want use-before-def after call, got: %s", diagString(ds))
+	}
+}
+
+func TestUninitYRead(t *testing.T) {
+	// Y1 is read before anything was stored into it.
+	ds := analyze(0,
+		kcmisa.Instr{Op: kcmisa.Allocate, N: 2},
+		kcmisa.Instr{Op: kcmisa.PutValY, N: 1, R2: 1},
+		kcmisa.Instr{Op: kcmisa.Call, N: 1, L: kcmisa.FailLabel},
+		kcmisa.Instr{Op: kcmisa.Deallocate},
+		kcmisa.Instr{Op: kcmisa.Proceed},
+	)
+	if !findCheck(ds, UninitY) {
+		t.Fatalf("want uninit-y, got: %s", diagString(ds))
+	}
+}
+
+func TestYReadOutsideTrimmedEnv(t *testing.T) {
+	// Y3 lies beyond the 2-slot environment: reading it walks into
+	// stack memory the allocation never covered.
+	ds := analyze(1,
+		kcmisa.Instr{Op: kcmisa.Allocate, N: 2},
+		kcmisa.Instr{Op: kcmisa.MoveXY, R1: 1, N: 0},
+		kcmisa.Instr{Op: kcmisa.PutValY, N: 3, R2: 1},
+		kcmisa.Instr{Op: kcmisa.Call, N: 1, L: kcmisa.FailLabel},
+		kcmisa.Instr{Op: kcmisa.Deallocate},
+		kcmisa.Instr{Op: kcmisa.Proceed},
+	)
+	if !findCheck(ds, UninitY) {
+		t.Fatalf("want uninit-y for out-of-range slot, got: %s", diagString(ds))
+	}
+}
+
+func TestYAccessAfterDeallocate(t *testing.T) {
+	ds := analyze(1,
+		kcmisa.Instr{Op: kcmisa.Allocate, N: 1},
+		kcmisa.Instr{Op: kcmisa.MoveXY, R1: 1, N: 0},
+		kcmisa.Instr{Op: kcmisa.Deallocate},
+		kcmisa.Instr{Op: kcmisa.PutValY, N: 0, R2: 1},
+		kcmisa.Instr{Op: kcmisa.Execute, N: 1, L: kcmisa.FailLabel},
+	)
+	if !findCheck(ds, EnvMisuse) {
+		t.Fatalf("want environment misuse, got: %s", diagString(ds))
+	}
+}
+
+func TestLeavingWithEnvironment(t *testing.T) {
+	ds := analyze(0,
+		kcmisa.Instr{Op: kcmisa.Allocate, N: 1},
+		kcmisa.Instr{Op: kcmisa.Proceed},
+	)
+	if !findCheck(ds, EnvMisuse) {
+		t.Fatalf("want environment misuse at proceed, got: %s", diagString(ds))
+	}
+}
+
+func TestQueryHaltWithEnvironmentIsClean(t *testing.T) {
+	// A query clause legitimately halts with its environment live so
+	// bindings stay readable.
+	ds := analyze(0,
+		kcmisa.Instr{Op: kcmisa.Allocate, N: 1},
+		kcmisa.Instr{Op: kcmisa.PutVarX, R1: 1, R2: 1},
+		kcmisa.Instr{Op: kcmisa.MoveXY, R1: 1, N: 0},
+		kcmisa.Instr{Op: kcmisa.Halt},
+	)
+	if len(ds) != 0 {
+		t.Fatalf("query halt flagged: %s", diagString(ds))
+	}
+}
+
+func TestUnbalancedChoiceChain(t *testing.T) {
+	// try_me_else whose alternative lands on plain clause code: on
+	// backtracking the machine would execute it with a choice point it
+	// never pops.
+	ds := analyze(1,
+		kcmisa.Instr{Op: kcmisa.TryMeElse, N: 1, L: 2},
+		kcmisa.Instr{Op: kcmisa.Proceed},
+		kcmisa.Instr{Op: kcmisa.GetNil, R2: 1}, // should be retry/trust
+		kcmisa.Instr{Op: kcmisa.Proceed},
+	)
+	if !findCheck(ds, ChoiceChain) {
+		t.Fatalf("want choice-chain, got: %s", diagString(ds))
+	}
+}
+
+func TestChoiceChainArityMismatch(t *testing.T) {
+	ds := analyze(2,
+		kcmisa.Instr{Op: kcmisa.TryMeElse, N: 2, L: 2},
+		kcmisa.Instr{Op: kcmisa.Proceed},
+		kcmisa.Instr{Op: kcmisa.TrustMe, N: 1}, // choice point saved 2 args
+		kcmisa.Instr{Op: kcmisa.Proceed},
+	)
+	if !findCheck(ds, ChoiceChain) {
+		t.Fatalf("want choice-chain arity mismatch, got: %s", diagString(ds))
+	}
+}
+
+func TestFallthroughIntoAlternative(t *testing.T) {
+	ds := analyze(1,
+		kcmisa.Instr{Op: kcmisa.TryMeElse, N: 1, L: 3},
+		kcmisa.Instr{Op: kcmisa.GetNil, R2: 1},
+		kcmisa.Instr{Op: kcmisa.TrustMe, N: 1}, // fallthrough from +1
+		kcmisa.Instr{Op: kcmisa.Proceed},
+	)
+	if !findCheck(ds, ChoiceChain) {
+		t.Fatalf("want choice-chain for fallthrough, got: %s", diagString(ds))
+	}
+}
+
+func TestInvalidJumpTarget(t *testing.T) {
+	ds := analyze(0,
+		kcmisa.Instr{Op: kcmisa.Jump, L: 99},
+	)
+	if !findCheck(ds, BadTarget) {
+		t.Fatalf("want bad target, got: %s", diagString(ds))
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	ds := analyze(1,
+		kcmisa.Instr{Op: kcmisa.Proceed},
+		kcmisa.Instr{Op: kcmisa.GetNil, R2: 1},
+		kcmisa.Instr{Op: kcmisa.Proceed},
+	)
+	if !findCheck(ds, Unreachable) {
+		t.Fatalf("want unreachable, got: %s", diagString(ds))
+	}
+}
+
+func TestFallsOffEnd(t *testing.T) {
+	ds := analyze(1,
+		kcmisa.Instr{Op: kcmisa.GetNil, R2: 1},
+	)
+	if !findCheck(ds, FallsOff) {
+		t.Fatalf("want falls-off-end, got: %s", diagString(ds))
+	}
+}
+
+func TestBadBuiltinNumber(t *testing.T) {
+	ds := analyze(0,
+		kcmisa.Instr{Op: kcmisa.Builtin, N: kcmisa.NumBuiltins + 3},
+		kcmisa.Instr{Op: kcmisa.Proceed},
+	)
+	if !findCheck(ds, BadBuiltin) {
+		t.Fatalf("want bad builtin, got: %s", diagString(ds))
+	}
+}
+
+func TestAltEdgeRestoresArgRegisters(t *testing.T) {
+	// The second alternative reads A1 and A2: legal, because the
+	// choice point restores them on backtracking.
+	ds := analyze(2,
+		kcmisa.Instr{Op: kcmisa.TryMeElse, N: 2, L: 3},
+		kcmisa.Instr{Op: kcmisa.GetNil, R2: 1},
+		kcmisa.Instr{Op: kcmisa.Proceed},
+		kcmisa.Instr{Op: kcmisa.TrustMe, N: 2},
+		kcmisa.Instr{Op: kcmisa.GetValX, R1: 1, R2: 2},
+		kcmisa.Instr{Op: kcmisa.Proceed},
+	)
+	if len(ds) != 0 {
+		t.Fatalf("alternative flagged: %s", diagString(ds))
+	}
+}
+
+func TestRegSet(t *testing.T) {
+	s := RegsThrough(3)
+	for r := 1; r <= 3; r++ {
+		if !s.Has(kcmisa.Reg(r)) {
+			t.Errorf("A%d missing from %v", r, s)
+		}
+	}
+	if s.Has(0) || s.Has(4) {
+		t.Errorf("unexpected members in %v", s)
+	}
+	if got := s.Add(7); !got.Has(7) {
+		t.Errorf("Add(7) lost the bit: %v", got)
+	}
+	if RegsThrough(0) != 0 || RegsThrough(-1) != 0 {
+		t.Error("RegsThrough of non-positive arity must be empty")
+	}
+	if RegsThrough(200) == 0 {
+		t.Error("RegsThrough must clamp, not overflow to empty")
+	}
+}
+
+func TestUpwardExposed(t *testing.T) {
+	code := []kcmisa.Instr{
+		{Op: kcmisa.GetVarX, R1: 5, R2: 1}, // uses A1, defines X5
+		{Op: kcmisa.PutValX, R1: 5, R2: 2}, // uses X5 (defined)
+		{Op: kcmisa.Call, N: 2, L: kcmisa.FailLabel},
+		{Op: kcmisa.PutValX, R1: 6, R2: 1}, // X6 read after call: not exposed
+	}
+	got := UpwardExposed(code)
+	// A1 is read before any definition; A2 is defined by the put
+	// before the call reads it, and X6 is read only after the call
+	// boundary, so neither is upward-exposed.
+	want := RegSet(0).Add(1)
+	if got != want {
+		t.Fatalf("UpwardExposed = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// encInstr is one decoded instruction with its code-space address.
+type encInstr struct {
+	in    kcmisa.Instr
+	addr  uint32
+	words int
+}
+
+// decodeAll walks an encoded code block, decoding instruction by
+// instruction. An undefined opcode resynchronises one word later; a
+// multi-word instruction whose operand words run past the block ends
+// the walk (decoding the tail would read out of bounds).
+func decodeAll(code []word.Word, base uint32) ([]encInstr, []Diag) {
+	fetch := func(a uint32) word.Word {
+		i := int(a) - int(base)
+		if i < 0 || i >= len(code) {
+			return 0
+		}
+		return code[i]
+	}
+	var (
+		out []encInstr
+		ds  []Diag
+	)
+	end := base + uint32(len(code))
+	diag := func(a uint32, c Check, format string, args ...any) {
+		u := Unit{Addr: func(int) uint32 { return a }}
+		ds = append(ds, u.diag(len(out), c, format, args...))
+	}
+	for a := base; a < end; {
+		op := kcmisa.Op(fetch(a) >> 56)
+		if op >= kcmisa.NumOps {
+			diag(a, BadOpcode, "undefined opcode %d at %d", uint8(op), a)
+			a++
+			continue
+		}
+		in, n := kcmisa.Decode(fetch, a)
+		if a+uint32(n) > end {
+			diag(a, Truncated,
+				"%v at %d needs %d words but only %d remain", in.Op, a, n, end-a)
+			return out, ds
+		}
+		out = append(out, encInstr{in: in, addr: a, words: n})
+		a += uint32(n)
+	}
+	return out, ds
+}
+
+// encTargets returns every code-address operand of a linked
+// instruction, including call targets (which are absolute addresses
+// after linking).
+func encTargets(in kcmisa.Instr) []int {
+	ts := targets(in)
+	if in.Op == kcmisa.Call || in.Op == kcmisa.Execute {
+		ts = append(ts, in.L)
+	}
+	return ts
+}
+
+// CheckEncoded is the loader-grade validation of an encoded code
+// block about to be placed at base: every instruction decodes, no
+// multi-word instruction is truncated, and every branch or call
+// target lands either in already loaded code (below codeTop) or on an
+// instruction boundary of the new block. The gap [codeTop, base) of a
+// page-rounded batch load is unmapped and therefore invalid.
+func CheckEncoded(code []word.Word, base, codeTop uint32) []Diag {
+	ins, ds := decodeAll(code, base)
+	boundary := make(map[uint32]bool, len(ins))
+	for _, ei := range ins {
+		boundary[ei.addr] = true
+	}
+	end := base + uint32(len(code))
+	u := Unit{}
+	for idx, ei := range ins {
+		u.Addr = func(int) uint32 { return ei.addr }
+		for _, t := range encTargets(ei.in) {
+			if t == kcmisa.FailLabel {
+				continue
+			}
+			a := uint32(t)
+			switch {
+			case t < 0 || a >= end:
+				ds = append(ds, u.diag(idx, BadTarget,
+					"%v at %d targets %d, outside loaded code [0,%d)",
+					ei.in.Op, ei.addr, t, end))
+			case a < codeTop:
+				// Existing code: trusted (validated when it was loaded).
+			case a < base:
+				ds = append(ds, u.diag(idx, BadTarget,
+					"%v at %d targets %d in the unmapped gap [%d,%d)",
+					ei.in.Op, ei.addr, t, codeTop, base))
+			case !boundary[a]:
+				ds = append(ds, u.diag(idx, BadTarget,
+					"%v at %d targets %d, not an instruction boundary",
+					ei.in.Op, ei.addr, t))
+			}
+		}
+	}
+	return ds
+}
+
+// VetEncoded runs the full flow analysis over a linked image: the
+// code block is partitioned into predicates by the entry table, each
+// predicate's labels are remapped back to instruction indices, and
+// every predicate is analyzed as a Unit. Words before the first entry
+// (the bootstrap preamble) get structural checks only. Call and
+// execute targets must name an entry or land below base (code linked
+// earlier against an external entry table).
+func VetEncoded(code []word.Word, base uint32, entries map[term.Indicator]uint32) []Diag {
+	ins, ds := decodeAll(code, base)
+	if len(ds) > 0 {
+		return ds
+	}
+	byAddr := make(map[uint32]int, len(ins))
+	for i, ei := range ins {
+		byAddr[ei.addr] = i
+	}
+	callOK := func(t int) bool {
+		if t >= 0 && uint32(t) < base {
+			return true
+		}
+		for _, a := range entries {
+			if uint32(t) == a {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Partition [base, end) by sorted entry addresses.
+	type pred struct {
+		pi         term.Indicator
+		start, end uint32
+	}
+	var preds []pred
+	for pi, a := range entries {
+		preds = append(preds, pred{pi: pi, start: a})
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i].start < preds[j].start })
+	end := base + uint32(len(code))
+	for i := range preds {
+		if i+1 < len(preds) {
+			preds[i].end = preds[i+1].start
+		} else {
+			preds[i].end = end
+		}
+	}
+
+	for _, p := range preds {
+		i0, ok := byAddr[p.start]
+		if !ok {
+			u := Unit{PI: p.pi, Addr: func(int) uint32 { return p.start }}
+			ds = append(ds, u.diag(0, BadTarget,
+				"entry %v at %d is not an instruction boundary", p.pi, p.start))
+			continue
+		}
+		// Collect the predicate's instructions and the local index of
+		// each address.
+		var local []kcmisa.Instr
+		addrs := make([]uint32, 0, 8)
+		localAt := map[uint32]int{}
+		for i := i0; i < len(ins) && ins[i].addr < p.end; i++ {
+			localAt[ins[i].addr] = len(local)
+			local = append(local, ins[i].in)
+			addrs = append(addrs, ins[i].addr)
+		}
+		u := &Unit{PI: p.pi, Arity: p.pi.Arity, Code: local,
+			Addr: func(i int) uint32 {
+				if i < len(addrs) {
+					return addrs[i]
+				}
+				return p.start
+			}}
+		// Remap absolute label addresses back to local instruction
+		// indices; a label leaving the predicate is malformed.
+		bad := false
+		remap := func(idx int, l *int) {
+			if *l == kcmisa.FailLabel {
+				return
+			}
+			li, ok := localAt[uint32(*l)]
+			if !ok {
+				ds = append(ds, u.diag(idx, BadTarget,
+					"%v targets %d outside predicate %v [%d,%d)",
+					local[idx].Op, *l, p.pi, p.start, p.end))
+				bad = true
+				return
+			}
+			*l = li
+		}
+		for idx := range local {
+			in := &local[idx]
+			switch in.Op {
+			case kcmisa.Call, kcmisa.Execute:
+				if !callOK(in.L) {
+					ds = append(ds, u.diag(idx, BadTarget,
+						"%v targets %d, which is no entry point", in.Op, in.L))
+					bad = true
+				}
+				in.L = 0 // out of scope for intra-unit analysis
+			case kcmisa.TryMeElse, kcmisa.RetryMeElse, kcmisa.Try,
+				kcmisa.Retry, kcmisa.Trust, kcmisa.Jump:
+				remap(idx, &in.L)
+			case kcmisa.SwitchOnTerm:
+				t := *in.SwT
+				remap(idx, &t.Var)
+				remap(idx, &t.Const)
+				remap(idx, &t.List)
+				remap(idx, &t.Struct)
+				in.SwT = &t
+			case kcmisa.SwitchOnConst, kcmisa.SwitchOnStruct:
+				remap(idx, &in.L)
+				tbl := append([]kcmisa.SwEntry(nil), in.Sw...)
+				for i := range tbl {
+					remap(idx, &tbl[i].L)
+				}
+				in.Sw = tbl
+			}
+		}
+		if bad {
+			continue
+		}
+		ds = append(ds, u.Analyze()...)
+	}
+	return ds
+}

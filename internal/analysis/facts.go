@@ -1,0 +1,233 @@
+// Package analysis is a static analyzer over KCM instruction streams.
+// It builds a control-flow graph per predicate (basic blocks split on
+// transfer instructions, with try/retry/trust alternative edges and
+// switch multi-way edges), runs dataflow passes over it — argument and
+// temporary register init-before-use, permanent-variable (Y-register)
+// lifetime across allocate/deallocate, choice-point chain discipline,
+// jump-target validity, unreachable-code detection — and reports
+// structured diagnostics with instruction provenance.
+//
+// The analyzer runs in three places: as the compiler's opt-in
+// post-compile verification pass (on by default under `go test`), as
+// the loader's structural validator for encoded code words, and as the
+// engine of the kcmvet command. The compiler's peephole optimiser
+// consumes the same per-instruction def/use facts (InstrEffects), so
+// the rewriter and its checker can never drift apart.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kcmisa"
+)
+
+// RegSet is a bitset over the 64-register file.
+type RegSet uint64
+
+// AllRegs has every register set.
+const AllRegs = ^RegSet(0)
+
+// Has reports whether register r is in the set.
+func (s RegSet) Has(r kcmisa.Reg) bool { return s&(1<<uint(r&63)) != 0 }
+
+// Add returns the set with register r added.
+func (s RegSet) Add(r kcmisa.Reg) RegSet { return s | 1<<uint(r&63) }
+
+// RegsThrough returns the set {A1..An}, the argument registers of an
+// arity-n predicate.
+func RegsThrough(n int) RegSet {
+	if n <= 0 {
+		return 0
+	}
+	if n >= kcmisa.NumRegs-1 {
+		n = kcmisa.NumRegs - 1
+	}
+	return (RegSet(1)<<uint(n+1) - 1) &^ 1 // bits 1..n
+}
+
+func (s RegSet) String() string {
+	var b strings.Builder
+	for r := 0; r < kcmisa.NumRegs; r++ {
+		if s.Has(kcmisa.Reg(r)) {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "X%d", r)
+		}
+	}
+	if b.Len() == 0 {
+		return "{}"
+	}
+	return b.String()
+}
+
+// Effects are the register-file facts of one instruction: which X
+// registers it reads and writes, whether it invalidates linear
+// register tracking (peephole barrier), and whether it is a call
+// boundary after which no register content survives.
+type Effects struct {
+	Uses RegSet
+	Defs RegSet
+	// KillsAll marks call/escape boundaries: the continuation may not
+	// assume any register content (the compiler's resetTemps point).
+	KillsAll bool
+	// Barrier marks instructions that invalidate straight-line
+	// register tracking for the peephole rewriter: calls, escapes,
+	// control transfers and alternative-chain instructions.
+	Barrier bool
+}
+
+// CallArity returns the number of argument registers consumed by a
+// call, execute, neck or alternative instruction. Pre-link code
+// carries it in the symbolic Proc; linked code in the N field.
+func CallArity(in kcmisa.Instr) int {
+	if in.Proc.Name != "" {
+		return in.Proc.Arity
+	}
+	return in.N
+}
+
+// InstrEffects returns the register facts of one instruction. The
+// alternative instructions (try/retry/trust and neck) read A1..An
+// because they save or restore the argument registers when a choice
+// point is involved; a rewriter that knows no choice point can exist
+// (a textually last alternative) may ignore the Neck uses.
+func InstrEffects(in kcmisa.Instr) Effects {
+	var e Effects
+	switch in.Op {
+	case kcmisa.Call, kcmisa.Execute:
+		e.Uses = RegsThrough(CallArity(in))
+		e.KillsAll = true
+		e.Barrier = true
+	case kcmisa.Builtin:
+		e.Uses = RegsThrough(kcmisa.BuiltinArity(in.N))
+		e.KillsAll = true
+		e.Barrier = true
+	case kcmisa.Proceed, kcmisa.Jump, kcmisa.Fail, kcmisa.Halt, kcmisa.HaltFail:
+		e.Barrier = true
+	case kcmisa.TryMeElse, kcmisa.RetryMeElse, kcmisa.TrustMe,
+		kcmisa.Try, kcmisa.Retry, kcmisa.Trust:
+		e.Uses = RegsThrough(in.N)
+		e.Barrier = true
+	case kcmisa.Neck:
+		// Materialising the delayed choice point stores A1..An.
+		e.Uses = RegsThrough(in.N)
+	case kcmisa.SwitchOnTerm, kcmisa.SwitchOnConst, kcmisa.SwitchOnStruct:
+		e.Uses = RegSet(0).Add(1) // dispatch on A1
+		e.Barrier = true
+	case kcmisa.GetVarX:
+		e.Uses = RegSet(0).Add(in.R2)
+		e.Defs = RegSet(0).Add(in.R1)
+	case kcmisa.GetValX:
+		e.Uses = RegSet(0).Add(in.R1).Add(in.R2)
+	case kcmisa.GetConst, kcmisa.GetNil, kcmisa.GetList, kcmisa.GetStruct:
+		e.Uses = RegSet(0).Add(in.R2)
+	case kcmisa.UnifyVarX:
+		e.Defs = RegSet(0).Add(in.R1)
+	case kcmisa.UnifyValX:
+		e.Uses = RegSet(0).Add(in.R1)
+	case kcmisa.UnifyLocX:
+		// Reads the register; write mode may rewrite it with the
+		// globalised value.
+		e.Uses = RegSet(0).Add(in.R1)
+		e.Defs = RegSet(0).Add(in.R1)
+	case kcmisa.PutVarX:
+		e.Defs = RegSet(0).Add(in.R1).Add(in.R2)
+	case kcmisa.PutValX:
+		e.Uses = RegSet(0).Add(in.R1)
+		e.Defs = RegSet(0).Add(in.R2)
+	case kcmisa.PutVarY, kcmisa.PutValY, kcmisa.PutUnsafeY,
+		kcmisa.PutConst, kcmisa.PutNil, kcmisa.PutList, kcmisa.PutStruct:
+		e.Defs = RegSet(0).Add(in.R2)
+	case kcmisa.MoveXY:
+		e.Uses = RegSet(0).Add(in.R1)
+	case kcmisa.MoveYX:
+		e.Defs = RegSet(0).Add(in.R1)
+	case kcmisa.LoadConst:
+		e.Defs = RegSet(0).Add(in.R1)
+	case kcmisa.Add, kcmisa.Sub, kcmisa.Mul, kcmisa.Div, kcmisa.Mod,
+		kcmisa.Rem, kcmisa.Band, kcmisa.Bor, kcmisa.Bxor, kcmisa.Shl,
+		kcmisa.Shr, kcmisa.MinOp, kcmisa.MaxOp:
+		e.Uses = RegSet(0).Add(in.R1).Add(in.R2)
+		e.Defs = RegSet(0).Add(in.R3)
+	case kcmisa.Abs:
+		e.Uses = RegSet(0).Add(in.R1)
+		e.Defs = RegSet(0).Add(in.R3)
+	case kcmisa.CmpLt, kcmisa.CmpLe, kcmisa.CmpGt, kcmisa.CmpGe,
+		kcmisa.CmpEq, kcmisa.CmpNe, kcmisa.IdentEq, kcmisa.IdentNe,
+		kcmisa.UnifyRegs:
+		e.Uses = RegSet(0).Add(in.R1).Add(in.R2)
+	case kcmisa.TestVar, kcmisa.TestNonvar, kcmisa.TestAtom,
+		kcmisa.TestInteger, kcmisa.TestAtomic:
+		e.Uses = RegSet(0).Add(in.R1)
+	}
+	return e
+}
+
+// yEffect classifies an instruction's permanent-variable access.
+type yEffect int
+
+const (
+	yNone yEffect = iota
+	yRead
+	yWrite
+)
+
+// yAccess returns the Y-slot access of an instruction, if any.
+// put_unsafe_value both reads the slot and may rebind it; it is
+// classified as a read because the slot must be initialised first.
+func yAccess(in kcmisa.Instr) (yEffect, int) {
+	switch in.Op {
+	case kcmisa.MoveXY, kcmisa.PutVarY, kcmisa.UnifyVarY, kcmisa.SaveB0:
+		return yWrite, in.N
+	case kcmisa.MoveYX, kcmisa.PutValY, kcmisa.PutUnsafeY,
+		kcmisa.UnifyValY, kcmisa.UnifyLocY, kcmisa.CutY:
+		return yRead, in.N
+	}
+	return yNone, 0
+}
+
+// LastAltEffects is InstrEffects specialised to code that can never
+// be shallowly retried (a textually last alternative or a single
+// clause): there the shallow flag is always clear when Neck executes,
+// so it never materialises a choice point and never stores A1..An.
+// The peephole rewriter and its differential check both use this
+// model, which is what makes moving an argument-register definition
+// across a Neck legal in the first place.
+func LastAltEffects(in kcmisa.Instr) Effects {
+	e := InstrEffects(in)
+	if in.Op == kcmisa.Neck {
+		e.Uses = 0
+	}
+	return e
+}
+
+// UpwardExposed returns the registers a straight-line clause body may
+// read before writing: the values it demands from its caller (the
+// argument registers, for compiler-emitted clause code). Call and
+// escape boundaries end the window — nothing read after a call can be
+// an entry value.
+func UpwardExposed(code []kcmisa.Instr) RegSet {
+	return exposure(code, InstrEffects)
+}
+
+// UpwardExposedLastAlt is UpwardExposed under the last-alternative
+// effect model. The compiler's differential check asserts this set is
+// preserved by the peephole rewrite.
+func UpwardExposedLastAlt(code []kcmisa.Instr) RegSet {
+	return exposure(code, LastAltEffects)
+}
+
+func exposure(code []kcmisa.Instr, effects func(kcmisa.Instr) Effects) RegSet {
+	var defined, exposed RegSet
+	for _, in := range code {
+		e := effects(in)
+		exposed |= e.Uses &^ defined
+		if e.KillsAll {
+			defined = AllRegs
+		}
+		defined |= e.Defs
+	}
+	return exposed
+}

@@ -383,10 +383,12 @@ func (cc *clauseComp) emitGoal(i int, isLast bool) (stop bool, err error) {
 			if cc.needEnv {
 				cc.emit(kcmisa.Instr{Op: kcmisa.Deallocate})
 			}
-			cc.emit(kcmisa.Instr{Op: kcmisa.Execute, Proc: pi, L: kcmisa.FailLabel})
+			// N carries the arity so linked code (where Proc is gone)
+			// still knows which argument registers the call consumes.
+			cc.emit(kcmisa.Instr{Op: kcmisa.Execute, Proc: pi, N: pi.Arity, L: kcmisa.FailLabel})
 			return true, nil
 		}
-		cc.emit(kcmisa.Instr{Op: kcmisa.Call, Proc: pi, L: kcmisa.FailLabel})
+		cc.emit(kcmisa.Instr{Op: kcmisa.Call, Proc: pi, N: pi.Arity, L: kcmisa.FailLabel})
 		cc.resetTemps()
 		return false, nil
 	}

@@ -52,12 +52,15 @@ func (c *Compiler) compilePred(pi term.Indicator, clauses []clause, qvars map[te
 		if i == n-1 {
 			// The last alternative can never be shallowly retried, so
 			// its argument registers are dead after head unification.
-			code = peepholeLastAlt(code)
+			code, err = peepholeVerified(pi, code)
+			if err != nil {
+				return nil, err
+			}
 		}
 		codes[i] = code
 	}
 	if !multi {
-		return &Pred{PI: pi, Code: codes[0], Clauses: 1}, nil
+		return verified(&Pred{PI: pi, Code: codes[0], Clauses: 1})
 	}
 
 	classes := make([]argClass, n)
@@ -223,5 +226,16 @@ func (c *Compiler) compilePred(pi term.Indicator, clauses []clause, qvars map[te
 			Struct: structL,
 		}
 	}
-	return &Pred{PI: pi, Code: out, Clauses: n}, nil
+	return verified(&Pred{PI: pi, Code: out, Clauses: n})
+}
+
+// verified gates a finished predicate through the analyzer when the
+// Verify pass is on.
+func verified(p *Pred) (*Pred, error) {
+	if Verify {
+		if err := verifyPred(p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }

@@ -1,6 +1,9 @@
 package compiler
 
-import "repro/internal/kcmisa"
+import (
+	"repro/internal/analysis"
+	"repro/internal/kcmisa"
+)
 
 // peepholeLastAlt optimises the code of a clause that can never be
 // retried (the textually last alternative, or a single clause): its
@@ -14,6 +17,11 @@ import "repro/internal/kcmisa"
 // Pattern: UnifyVarX/GetVarX Xs ... PutValX Xs, At  ==>  def At,
 // provided nothing between defines or uses At, nothing else uses Xs,
 // and no control transfer or call intervenes.
+//
+// The def/use facts come from the analysis package's last-alternative
+// effect model (analysis.LastAltEffects), the same model the
+// post-compile verifier and the differential check use, so the
+// rewriter and its checker cannot drift apart.
 func peepholeLastAlt(code []kcmisa.Instr) []kcmisa.Instr {
 
 again:
@@ -26,29 +34,32 @@ again:
 		def := -1
 		for j := i - 1; j >= 0; j-- {
 			d := code[j]
-			if barrier(d) {
+			e := analysis.LastAltEffects(d)
+			if e.Barrier {
 				break
 			}
-			if regDefs(d, src) {
+			if e.Defs.Has(src) {
 				if d.Op == kcmisa.UnifyVarX || d.Op == kcmisa.GetVarX || d.Op == kcmisa.PutVarX {
 					def = j
 				}
 				break
 			}
-			if regUses(d, src) || regUses(d, dst) || regDefs(d, dst) {
+			if e.Uses.Has(src) || e.Uses.Has(dst) || e.Defs.Has(dst) {
 				break
 			}
 		}
 		if def < 0 {
 			continue
 		}
-		// src must be dead after the move.
+		// src must be dead after the move. A call boundary kills every
+		// register, so the scan can stop there.
 		for j := i + 1; j < len(code); j++ {
-			if regUses(code[j], src) {
+			e := analysis.LastAltEffects(code[j])
+			if e.Uses.Has(src) {
 				def = -1
 				break
 			}
-			if regDefs(code[j], src) {
+			if e.KillsAll || e.Defs.Has(src) {
 				break
 			}
 		}
@@ -63,61 +74,4 @@ again:
 		goto again
 	}
 	return code
-}
-
-// barrier reports whether an instruction invalidates register
-// tracking (calls, escapes, control transfers, alternatives).
-func barrier(in kcmisa.Instr) bool {
-	switch in.Op {
-	case kcmisa.Call, kcmisa.Execute, kcmisa.Builtin, kcmisa.Proceed,
-		kcmisa.Jump, kcmisa.Fail, kcmisa.SwitchOnTerm, kcmisa.SwitchOnConst,
-		kcmisa.SwitchOnStruct, kcmisa.Try, kcmisa.Retry, kcmisa.Trust,
-		kcmisa.TryMeElse, kcmisa.RetryMeElse, kcmisa.TrustMe,
-		kcmisa.Halt, kcmisa.HaltFail:
-		return true
-	}
-	return false
-}
-
-// regDefs reports whether the instruction writes register r.
-// Neck is treated as defining nothing: in a last alternative it never
-// materialises a choice point (the shallow flag is always clear).
-func regDefs(in kcmisa.Instr, r kcmisa.Reg) bool {
-	switch in.Op {
-	case kcmisa.GetVarX, kcmisa.UnifyVarX, kcmisa.MoveYX, kcmisa.LoadConst:
-		return in.R1 == r
-	case kcmisa.UnifyLocX:
-		return in.R1 == r // may be rewritten by globalisation
-	case kcmisa.PutVarX:
-		return in.R1 == r || in.R2 == r
-	case kcmisa.PutValX, kcmisa.PutValY, kcmisa.PutUnsafeY, kcmisa.PutConst,
-		kcmisa.PutNil, kcmisa.PutList, kcmisa.PutStruct:
-		return in.R2 == r
-	case kcmisa.Add, kcmisa.Sub, kcmisa.Mul, kcmisa.Div, kcmisa.Mod:
-		return in.R3 == r
-	}
-	return false
-}
-
-// regUses reports whether the instruction reads register r.
-func regUses(in kcmisa.Instr, r kcmisa.Reg) bool {
-	switch in.Op {
-	case kcmisa.GetVarX:
-		return in.R2 == r
-	case kcmisa.PutValX:
-		return in.R1 == r
-	case kcmisa.GetValX:
-		return in.R1 == r || in.R2 == r
-	case kcmisa.GetConst, kcmisa.GetNil, kcmisa.GetList, kcmisa.GetStruct:
-		return in.R2 == r
-	case kcmisa.UnifyValX, kcmisa.UnifyLocX, kcmisa.MoveXY, kcmisa.TestVar,
-		kcmisa.TestNonvar, kcmisa.TestAtom, kcmisa.TestInteger, kcmisa.TestAtomic:
-		return in.R1 == r
-	case kcmisa.Add, kcmisa.Sub, kcmisa.Mul, kcmisa.Div, kcmisa.Mod,
-		kcmisa.CmpLt, kcmisa.CmpLe, kcmisa.CmpGt, kcmisa.CmpGe,
-		kcmisa.CmpEq, kcmisa.CmpNe, kcmisa.IdentEq, kcmisa.IdentNe,
-		kcmisa.UnifyRegs:
-		return in.R1 == r || in.R2 == r
-	}
-	return false
 }

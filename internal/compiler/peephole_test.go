@@ -1,0 +1,182 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+)
+
+// TestPeepholeLastAlt drives the rewriter over hand-built edge cases
+// and uses the analyzer as oracle: every output must preserve the
+// clause's upward-exposed register set under the last-alternative
+// effect model, and the structural expectation (rewritten or not)
+// must hold.
+func TestPeepholeLastAlt(t *testing.T) {
+	i := func(op kcmisa.Op, fields ...func(*kcmisa.Instr)) kcmisa.Instr {
+		in := kcmisa.Instr{Op: op, L: kcmisa.FailLabel}
+		for _, f := range fields {
+			f(&in)
+		}
+		return in
+	}
+	r1 := func(r kcmisa.Reg) func(*kcmisa.Instr) { return func(in *kcmisa.Instr) { in.R1 = r } }
+	r2 := func(r kcmisa.Reg) func(*kcmisa.Instr) { return func(in *kcmisa.Instr) { in.R2 = r } }
+	n := func(v int) func(*kcmisa.Instr) { return func(in *kcmisa.Instr) { in.N = v } }
+
+	cases := []struct {
+		name    string
+		code    []kcmisa.Instr
+		rewrite bool // expect the PutValX to be eliminated
+	}{
+		{
+			name: "basic unify-into-arg",
+			code: []kcmisa.Instr{
+				i(kcmisa.GetList, r2(1)),
+				i(kcmisa.UnifyVarX, r1(5)),
+				i(kcmisa.PutValX, r1(5), r2(1)),
+				i(kcmisa.Execute, n(1)),
+			},
+			rewrite: true,
+		},
+		{
+			name: "across neck",
+			code: []kcmisa.Instr{
+				i(kcmisa.GetList, r2(1)),
+				i(kcmisa.UnifyVarX, r1(5)),
+				i(kcmisa.Neck, n(1)),
+				i(kcmisa.PutValX, r1(5), r2(1)),
+				i(kcmisa.Execute, n(1)),
+			},
+			rewrite: true,
+		},
+		{
+			name: "call barrier between def and move",
+			code: []kcmisa.Instr{
+				i(kcmisa.GetList, r2(1)),
+				i(kcmisa.UnifyVarX, r1(5)),
+				i(kcmisa.Call, n(1)),
+				i(kcmisa.PutValX, r1(5), r2(1)),
+				i(kcmisa.Execute, n(1)),
+			},
+			rewrite: false,
+		},
+		{
+			name: "builtin barrier between def and move",
+			code: []kcmisa.Instr{
+				i(kcmisa.GetList, r2(1)),
+				i(kcmisa.UnifyVarX, r1(5)),
+				i(kcmisa.Builtin, n(kcmisa.BINl)),
+				i(kcmisa.PutValX, r1(5), r2(1)),
+				i(kcmisa.Execute, n(1)),
+			},
+			rewrite: false,
+		},
+		{
+			name: "dst redefined between def and move",
+			code: []kcmisa.Instr{
+				i(kcmisa.GetList, r2(1)),
+				i(kcmisa.UnifyVarX, r1(5)),
+				i(kcmisa.PutNil, r2(1)), // A1 written in between
+				i(kcmisa.PutValX, r1(5), r2(1)),
+				i(kcmisa.Execute, n(1)),
+			},
+			rewrite: false,
+		},
+		{
+			name: "dst used between def and move",
+			code: []kcmisa.Instr{
+				i(kcmisa.GetList, r2(2)),
+				i(kcmisa.UnifyVarX, r1(5)),
+				i(kcmisa.GetNil, r2(1)), // A1 read in between
+				i(kcmisa.PutValX, r1(5), r2(1)),
+				i(kcmisa.Execute, n(2)),
+			},
+			rewrite: false,
+		},
+		{
+			name: "src live after move",
+			code: []kcmisa.Instr{
+				i(kcmisa.GetList, r2(1)),
+				i(kcmisa.UnifyVarX, r1(5)),
+				i(kcmisa.PutValX, r1(5), r2(1)),
+				i(kcmisa.MoveXY, r1(5), n(0)), // X5 still read afterwards
+				i(kcmisa.Execute, n(1)),
+			},
+			rewrite: false,
+		},
+		{
+			name: "src read by arithmetic after move",
+			code: []kcmisa.Instr{
+				i(kcmisa.GetList, r2(1)),
+				i(kcmisa.UnifyVarX, r1(5)),
+				i(kcmisa.PutValX, r1(5), r2(1)),
+				i(kcmisa.Add, r1(5), r2(6), func(in *kcmisa.Instr) { in.R3 = 7 }),
+				i(kcmisa.Execute, n(1)),
+			},
+			rewrite: false,
+		},
+		{
+			name: "putvar pair rewrite",
+			code: []kcmisa.Instr{
+				i(kcmisa.PutVarX, r1(5), r2(5)),
+				i(kcmisa.PutValX, r1(5), r2(1)),
+				i(kcmisa.Execute, n(1)),
+			},
+			rewrite: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := append([]kcmisa.Instr(nil), tc.code...)
+			out := peepholeLastAlt(append([]kcmisa.Instr(nil), tc.code...))
+
+			hasMove := false
+			for _, in := range out {
+				if in.Op == kcmisa.PutValX {
+					hasMove = true
+				}
+			}
+			if tc.rewrite && hasMove {
+				t.Errorf("expected rewrite, move survived: %v", out)
+			}
+			if !tc.rewrite && !hasMove {
+				t.Errorf("unexpected rewrite: %v", out)
+			}
+			if tc.rewrite && len(out) != len(orig)-1 {
+				t.Errorf("rewrite should drop exactly the move: %d -> %d instrs",
+					len(orig), len(out))
+			}
+
+			// Oracle: the rewrite must preserve the upward-exposed
+			// register set in the last-alternative model.
+			got := analysis.UpwardExposedLastAlt(out)
+			want := analysis.UpwardExposedLastAlt(orig)
+			if got != want {
+				t.Errorf("upward-exposed changed: %v -> %v", want, got)
+			}
+		})
+	}
+}
+
+// TestPeepholeVerifiedDifferential exercises the wrapper the compiler
+// uses under Verify.
+func TestPeepholeVerifiedDifferential(t *testing.T) {
+	code := []kcmisa.Instr{
+		{Op: kcmisa.GetList, R2: 1},
+		{Op: kcmisa.UnifyVarX, R1: 5},
+		{Op: kcmisa.Neck, N: 1},
+		{Op: kcmisa.PutValX, R1: 5, R2: 1},
+		{Op: kcmisa.Execute, N: 1, L: kcmisa.FailLabel},
+	}
+	pi := term.Ind("p", 1)
+	out, err := peepholeVerified(pi, append([]kcmisa.Instr(nil), code...))
+	if err != nil {
+		t.Fatalf("differential rejected a sound rewrite: %v", err)
+	}
+	if len(out) != len(code)-1 {
+		t.Fatalf("expected one instruction eliminated, got %v", out)
+	}
+}

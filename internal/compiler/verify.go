@@ -1,0 +1,72 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+)
+
+// Verify enables the post-compile verification pass: every predicate
+// leaving compilePred is run through the static analyzer
+// (internal/analysis), and the peephole rewrite is differentially
+// checked to preserve the clause's upward-exposed register set.
+// Compilation fails with a *VerifyError on any finding.
+//
+// The pass is on by default under `go test` — every instruction
+// stream the test suite compiles is verified — and off in production
+// binaries, where validation happens at load time or via kcmvet.
+var Verify = testing.Testing()
+
+// SetVerify switches the verification pass and returns the previous
+// setting.
+func SetVerify(on bool) bool {
+	prev := Verify
+	Verify = on
+	return prev
+}
+
+// VerifyError reports analyzer findings on freshly compiled code.
+type VerifyError struct {
+	PI    term.Indicator
+	Diags []analysis.Diag
+}
+
+func (e *VerifyError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compiler: verification of %v failed (%d findings)", e.PI, len(e.Diags))
+	for _, d := range e.Diags {
+		b.WriteString("\n\t")
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// verifyPred runs the analyzer over a compiled predicate.
+func verifyPred(p *Pred) error {
+	if ds := analysis.AnalyzePred(p.PI, p.Code); len(ds) > 0 {
+		return &VerifyError{PI: p.PI, Diags: ds}
+	}
+	return nil
+}
+
+// peepholeVerified applies peepholeLastAlt; under Verify it also
+// asserts the rewrite preserved the upward-exposed register set of
+// the clause (in the last-alternative effect model), the differential
+// guarantee that no caller-provided value was lost and no new
+// register demand introduced.
+func peepholeVerified(pi term.Indicator, code []kcmisa.Instr) ([]kcmisa.Instr, error) {
+	if !Verify {
+		return peepholeLastAlt(code), nil
+	}
+	orig := append([]kcmisa.Instr(nil), code...)
+	out := peepholeLastAlt(code)
+	if got, want := analysis.UpwardExposedLastAlt(out), analysis.UpwardExposedLastAlt(orig); got != want {
+		return nil, fmt.Errorf("compiler: %v: peephole changed upward-exposed registers from %v to %v",
+			pi, want, got)
+	}
+	return out, nil
+}

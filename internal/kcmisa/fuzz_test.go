@@ -1,0 +1,76 @@
+package kcmisa_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/kcmisa"
+	"repro/internal/word"
+)
+
+// wordsToBytes flattens encoded code words into the byte form the
+// fuzzer mutates.
+func wordsToBytes(ws []word.Word) []byte {
+	b := make([]byte, 8*len(ws))
+	for i, w := range ws {
+		binary.BigEndian.PutUint64(b[8*i:], uint64(w))
+	}
+	return b
+}
+
+// FuzzDecode throws arbitrary code words at the decoder, the
+// instruction printer, and the encoded-stream checker. None of them
+// may panic, whatever the bytes: the loader runs them on untrusted
+// blocks before anything executes. Seeds are the linked images of the
+// benchmark suite, so mutations start from realistic code.
+func FuzzDecode(f *testing.F) {
+	for _, p := range bench.Suite {
+		prog, err := core.Load(p.Source)
+		if err != nil {
+			f.Fatalf("%s: %v", p.Name, err)
+		}
+		mod, err := compiler.New(prog.Syms()).CompileProgram(prog.Clauses())
+		if err != nil {
+			f.Fatalf("%s: %v", p.Name, err)
+		}
+		im, err := asm.Link(mod)
+		if err != nil {
+			f.Fatalf("%s: %v", p.Name, err)
+		}
+		f.Add(wordsToBytes(im.Code))
+	}
+	// A few degenerate shapes the mutator would take longer to reach.
+	f.Add([]byte{})
+	f.Add(wordsToBytes([]word.Word{word.Word(250) << 56}))
+	f.Add(wordsToBytes([]word.Word{^word.Word(0)}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		code := make([]word.Word, len(data)/8)
+		for i := range code {
+			code[i] = word.Word(binary.BigEndian.Uint64(data[8*i:]))
+		}
+		fetch := func(a uint32) word.Word {
+			if int(a) >= len(code) {
+				return 0
+			}
+			return code[a]
+		}
+		for pc := 0; pc < len(code); {
+			in, n := kcmisa.Decode(fetch, uint32(pc))
+			_ = in.String()
+			_ = in.Words()
+			_ = in.Transfer()
+			if n < 1 {
+				t.Fatalf("Decode consumed %d words at %d", n, pc)
+			}
+			pc += n
+		}
+		_ = analysis.CheckEncoded(code, 0, 0)
+		_ = analysis.VetEncoded(code, 0, nil)
+	})
+}

@@ -2,10 +2,40 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/mmu"
 	"repro/internal/word"
 )
+
+// CodeError rejects a malformed code block at load time: undecodable
+// or truncated instructions, or jump/branch/call targets outside the
+// loaded code space. The machine never executes a word of a rejected
+// block.
+type CodeError struct {
+	Base  uint32 // intended load address of the block
+	Diags []analysis.Diag
+}
+
+func (e *CodeError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine: rejecting code block at %d (%d findings)", e.Base, len(e.Diags))
+	for _, d := range e.Diags {
+		b.WriteString("\n\t")
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// checkCode validates an encoded block before any word reaches the
+// code space.
+func checkCode(code []word.Word, base, codeTop uint32) error {
+	if ds := analysis.CheckEncoded(code, base, codeTop); len(ds) > 0 {
+		return &CodeError{Base: base, Diags: ds}
+	}
+	return nil
+}
 
 // Incremental compilation support (section 3.2.1). KCM keeps separate
 // code and data address spaces; newly compiled code can reach the
@@ -26,6 +56,9 @@ func (m *Machine) CodeTop() uint32 { return m.codeTop }
 // through the code cache and returns its base address.
 func (m *Machine) LoadIncremental(code []word.Word) (uint32, error) {
 	base := m.codeTop
+	if err := checkCode(code, base, m.codeTop); err != nil {
+		return 0, err
+	}
 	for i, w := range code {
 		cost, err := m.icache.Write(base+uint32(i), w)
 		m.stats.Cycles += uint64(cost)
@@ -49,6 +82,9 @@ func (m *Machine) LoadBatch(code []word.Word) (uint32, error) {
 	// Round the load address to a page boundary.
 	base := (m.codeTop + mmu.PageWords - 1) &^ (mmu.PageWords - 1)
 	pages := (uint32(len(code)) + mmu.PageWords - 1) / mmu.PageWords
+	if err := checkCode(code, base, m.codeTop); err != nil {
+		return 0, err
+	}
 
 	// Stage in the data space: a scratch window in the static zone,
 	// page-aligned so the frames can be detached wholesale.

@@ -285,6 +285,9 @@ func New(im *asm.Image, cfg Config) (*Machine, error) {
 	m.dcache = cache.NewData(m.dmmu, boolDefault(cfg.SplitDataCache, true))
 	m.icache = cache.NewCode(m.cmmu, cfg.CodePrefetch)
 	m.installZones()
+	if err := checkCode(im.Code, 0, 0); err != nil {
+		return nil, err
+	}
 	// Load the image through the code MMU (batch mode, untimed).
 	for a, w := range im.Code {
 		if _, err := m.cmmu.Write(uint32(a), w); err != nil {

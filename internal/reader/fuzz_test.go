@@ -1,0 +1,49 @@
+package reader_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/reader"
+)
+
+// FuzzReader feeds arbitrary text to the tokenizer and parser. The
+// reader may reject anything, but it must never panic: it fronts
+// every consulted file and every typed query. Seeds are the full
+// benchmark sources and their queries, plus syntax-heavy fragments
+// covering the operator table, quoting, and comment forms.
+func FuzzReader(f *testing.F) {
+	for _, p := range bench.Suite {
+		f.Add(p.Source)
+		f.Add(p.Query)
+	}
+	for _, s := range []string{
+		"",
+		"a.",
+		"a :- b, c ; d -> e.",
+		"X is 1 + 2 * -3 mod 4.",
+		"p([H|T], 'quoted atom', \"string\", 0'c).",
+		"p(_, _G123, {curly}, (a, b)).",
+		"% comment\n/* block */ p.",
+		"f(g(h(X)), [a,b|Y]) = Z.",
+		"p :- !.",
+		"0' ",
+		"'unterminated",
+		"p(",
+		"...",
+		":- dynamic foo/1.",
+	} {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		terms, err := reader.ParseAll(src)
+		if err == nil {
+			// Whatever parsed must print without panicking either.
+			for _, tm := range terms {
+				_ = tm.String()
+			}
+		}
+		_, _ = reader.ParseTerm(src)
+	})
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 verification gate. Everything here must pass before a change
+# lands: formatting, vet, build, the full test suite under the race
+# detector, and the static bytecode verifier over every example
+# program and the whole benchmark suite.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '== gofmt'
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo '== go vet'
+go vet ./...
+
+echo '== go build'
+go build ./...
+
+echo '== go test -race'
+go test -race ./...
+
+echo '== kcmvet'
+go run ./cmd/kcmvet -bench examples/*/main.go
+
+echo 'verify: all gates passed'
