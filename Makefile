@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test verify vet fmt bench
+.PHONY: build test verify vet fmt bench tables
+
+# BENCH_N selects the BENCH_<n>.json the host benchmarks write.
+BENCH_N ?= 0
 
 build:
 	$(GO) build ./...
@@ -19,5 +22,12 @@ vet:
 fmt:
 	gofmt -w .
 
+# Host wall-clock benchmarks (BenchmarkHost*): best-of-N runs recorded
+# in BENCH_$(BENCH_N).json; compare two recordings with
+# scripts/benchcmp.sh.
 bench:
+	sh scripts/hostbench.sh $(BENCH_N)
+
+# Simulated results: the paper's tables (section 4).
+tables:
 	$(GO) run ./cmd/kcmbench

@@ -6,19 +6,101 @@
 //
 //	kcmbench            # everything
 //	kcmbench -table 2   # one table: 1, 2, 3, 4, cache, shallow, deref, trail
+//
+// Profiling the simulator itself (the host, not the simulated
+// machine — simulated numbers come from the tables):
+//
+//	kcmbench -cpuprofile cpu.pprof          # pprof CPU profile of the run
+//	kcmbench -memprofile mem.pprof          # heap profile at exit
+//	kcmbench -hostprofile nrev1             # per-opcode host ns for one program
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/machine"
 )
+
+// hostProfile runs one benchmark program twice (cold, then warm — the
+// steady state the predecode work targets) with the per-opcode
+// host-time monitor on, and prints where the interpreter's wall-clock
+// time goes.
+func hostProfile(name string) error {
+	p, ok := bench.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown program %q", name)
+	}
+	im, err := bench.Compile(p, true)
+	if err != nil {
+		return err
+	}
+	m, err := machine.New(im, machine.Config{HostProfile: true})
+	if err != nil {
+		return err
+	}
+	entry, ok := im.Entry(compiler.QueryPI)
+	if !ok {
+		return fmt.Errorf("%s: no query entry", name)
+	}
+	for i := 0; i < 2; i++ {
+		m.ResetStats()
+		if _, err := m.Run(entry); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("Host-time profile of %s (2 runs, warm second)\n", name)
+	fmt.Println(machine.RenderHostProfile(m.HostProfile()))
+	return nil
+}
 
 func main() {
 	table := flag.String("table", "all", "table to regenerate: 1, 2, 3, 4, cache, shallow, deref, trail, all")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to `file`")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile of the simulator to `file`")
+	hostprofile := flag.String("hostprofile", "", "print the per-opcode host-time profile of one benchmark `program` and exit")
 	flag.Parse()
+
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "kcmbench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("cpuprofile", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("cpuprofile", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail("memprofile", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail("memprofile", err)
+			}
+		}()
+	}
+
+	if *hostprofile != "" {
+		if err := hostProfile(*hostprofile); err != nil {
+			fail("hostprofile", err)
+		}
+		return
+	}
 
 	run := func(name string, f func() error) {
 		if *table != "all" && *table != name {

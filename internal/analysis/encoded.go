@@ -108,6 +108,43 @@ func CheckEncoded(code []word.Word, base, codeTop uint32) []Diag {
 	return ds
 }
 
+// CheckPatched validates a code block about to overwrite part of the
+// already-loaded code space at base (an in-place hot patch). The
+// rules differ from CheckEncoded's append-only load: a target inside
+// the patched range [base, base+len) must be an instruction boundary
+// of the new block, while a target anywhere else in the loaded space
+// [0, codeTop) is trusted — the patch may legitimately branch into,
+// or be branched into from, surrounding code.
+func CheckPatched(code []word.Word, base, codeTop uint32) []Diag {
+	ins, ds := decodeAll(code, base)
+	boundary := make(map[uint32]bool, len(ins))
+	for _, ei := range ins {
+		boundary[ei.addr] = true
+	}
+	end := base + uint32(len(code))
+	u := Unit{}
+	for idx, ei := range ins {
+		u.Addr = func(int) uint32 { return ei.addr }
+		for _, t := range encTargets(ei.in) {
+			if t == kcmisa.FailLabel {
+				continue
+			}
+			a := uint32(t)
+			switch {
+			case t < 0 || a >= codeTop:
+				ds = append(ds, u.diag(idx, BadTarget,
+					"%v at %d targets %d, outside loaded code [0,%d)",
+					ei.in.Op, ei.addr, t, codeTop))
+			case a >= base && a < end && !boundary[a]:
+				ds = append(ds, u.diag(idx, BadTarget,
+					"%v at %d targets %d, not an instruction boundary of the patch",
+					ei.in.Op, ei.addr, t))
+			}
+		}
+	}
+	return ds
+}
+
 // VetEncoded runs the full flow analysis over a linked image: the
 // code block is partitioned into predicates by the entry table, each
 // predicate's labels are remapped back to instruction indices, and

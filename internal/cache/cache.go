@@ -50,7 +50,11 @@ type line struct {
 // direct-mapped cache, the configuration used for the stack-collision
 // study in section 3.2.4.
 type Data struct {
-	lines []line
+	// lines is a fixed-size array, not a slice: the hit path indexes
+	// it with a value already reduced mod DataWords, so the compiler
+	// drops both the bounds check and the slice-header indirection —
+	// this path runs once per simulated data access.
+	lines [DataWords]line
 	split bool
 	stats Stats
 	back  Backing
@@ -63,7 +67,7 @@ const sectionWords = 1024
 
 // NewData creates the data cache.
 func NewData(back Backing, split bool) *Data {
-	return &Data{lines: make([]line, DataWords), split: split, back: back}
+	return &Data{split: split, back: back}
 }
 
 func (c *Data) index(va uint32, z word.Zone) uint32 {
@@ -184,7 +188,9 @@ func (c *Data) Peek(va uint32, z word.Zone) (word.Word, bool) {
 // fill uses the memory page mode to prefetch the next sequential
 // words, which favours straight-line code.
 type Code struct {
-	lines    []line
+	// Fixed-size array for the same bounds-check-free hit path as
+	// Data.lines; Touch runs it once per fetched code word.
+	lines    [CodeWords]line
 	back     Backing
 	prefetch int
 	stats    Stats
@@ -196,7 +202,7 @@ const CodeWords = 8 * 1024
 // NewCode creates the code cache; prefetch is the number of
 // sequential words fetched ahead on a miss (0 disables).
 func NewCode(back Backing, prefetch int) *Code {
-	return &Code{lines: make([]line, CodeWords), back: back, prefetch: prefetch}
+	return &Code{back: back, prefetch: prefetch}
 }
 
 // Read fetches a code word.
@@ -228,6 +234,40 @@ func (c *Code) Read(va uint32) (word.Word, int, error) {
 	}
 	return w, cost, nil
 }
+
+// Touch performs n sequential reads starting at va and returns the
+// summed cost. It is the fetch-replay path of the predecoded
+// instruction cache: accounting is identical to n successive Read
+// calls (hits count a read at zero cost; a miss takes the full
+// fill-and-prefetch path), only the per-word call overhead is gone.
+// allHit reports whether every word was already resident — callers
+// with a residency guarantee (code image no larger than the cache, so
+// no conflict can ever evict a filled line) may then replace future
+// replays with NoteReads.
+func (c *Code) Touch(va uint32, n int) (cost int, allHit bool, err error) {
+	allHit = true
+	for i := 0; i < n; i++ {
+		a := va + uint32(i)
+		ln := &c.lines[a%CodeWords]
+		if ln.valid && ln.va == a {
+			c.stats.Reads++
+			continue
+		}
+		allHit = false
+		_, rc, err := c.Read(a)
+		cost += rc
+		if err != nil {
+			return cost, false, err
+		}
+	}
+	return cost, allHit, nil
+}
+
+// NoteReads counts n reads that are guaranteed hits: the statistics
+// effect of a hit is Reads++ at zero cost with no line-state change,
+// so this is exactly Touch over n resident words minus the per-word
+// tag checks.
+func (c *Code) NoteReads(n int) { c.stats.Reads += uint64(n) }
 
 // Write stores through to memory and updates the cache (incremental
 // compilation writes directly into code space).

@@ -1,0 +1,135 @@
+package kcmisa_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/kcmisa"
+	"repro/internal/word"
+)
+
+// instrEqual compares two decoded instructions, treating a nil and an
+// empty switch table as the same (DecodeInto reuses the previous
+// occupant's backing array, so an empty table may be a non-nil
+// zero-length slice where Decode would leave nil).
+func instrEqual(a, b kcmisa.Instr) bool {
+	if a.Op != b.Op || a.Mark != b.Mark ||
+		a.R1 != b.R1 || a.R2 != b.R2 || a.R3 != b.R3 ||
+		a.N != b.N || a.L != b.L || a.K != b.K || a.Proc != b.Proc {
+		return false
+	}
+	if (a.SwT == nil) != (b.SwT == nil) {
+		return false
+	}
+	if a.SwT != nil && *a.SwT != *b.SwT {
+		return false
+	}
+	if len(a.Sw) != len(b.Sw) {
+		return false
+	}
+	for i := range a.Sw {
+		if a.Sw[i] != b.Sw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecodeInto differentially tests the allocation-free decoder
+// against the allocating one: over any code stream, DecodeInto into a
+// dirty, continuously reused Instr must produce exactly what a fresh
+// Decode produces — same fields, same width. A reuse bug (a stale
+// switch entry, a leaked SwT target) shows up as a mismatch. Seeds
+// are the linked benchmark-suite images, as in FuzzDecode.
+func FuzzDecodeInto(f *testing.F) {
+	for _, p := range bench.Suite {
+		prog, err := core.Load(p.Source)
+		if err != nil {
+			f.Fatalf("%s: %v", p.Name, err)
+		}
+		mod, err := compiler.New(prog.Syms()).CompileProgram(prog.Clauses())
+		if err != nil {
+			f.Fatalf("%s: %v", p.Name, err)
+		}
+		im, err := asm.Link(mod)
+		if err != nil {
+			f.Fatalf("%s: %v", p.Name, err)
+		}
+		f.Add(wordsToBytes(im.Code))
+	}
+	f.Add([]byte{})
+	f.Add(wordsToBytes([]word.Word{word.Word(250) << 56}))
+	f.Add(wordsToBytes([]word.Word{^word.Word(0)}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		code := make([]word.Word, len(data)/8)
+		for i := range code {
+			code[i] = word.Word(binary.BigEndian.Uint64(data[8*i:]))
+		}
+		fetch := func(a uint32) word.Word {
+			if int(a) >= len(code) {
+				return 0
+			}
+			return code[a]
+		}
+		// in is deliberately carried dirty from instruction to
+		// instruction, the way the predecode scratch slot is.
+		var in kcmisa.Instr
+		for pc := 0; pc < len(code); {
+			want, wn := kcmisa.Decode(fetch, uint32(pc))
+			gn := kcmisa.DecodeInto(fetch, uint32(pc), &in)
+			if gn != wn {
+				t.Fatalf("width mismatch at %d: DecodeInto %d, Decode %d", pc, gn, wn)
+			}
+			if !instrEqual(in, want) {
+				t.Fatalf("decode mismatch at %d:\nDecodeInto %v\nDecode     %v", pc, in, want)
+			}
+			if wn < 1 {
+				t.Fatalf("Decode consumed %d words at %d", wn, pc)
+			}
+			pc += wn
+		}
+	})
+}
+
+// TestDecodeIntoReusesStorage pins the allocation contract: decoding
+// a switch-bearing stream into the same Instr repeatedly must not
+// allocate once the backing storage has grown to the largest shape.
+func TestDecodeIntoReusesStorage(t *testing.T) {
+	tbl := kcmisa.Instr{
+		Op: kcmisa.SwitchOnConst,
+		L:  40,
+		Sw: []kcmisa.SwEntry{
+			{Key: word.FromInt(1), L: 41}, {Key: word.FromInt(2), L: 42}, {Key: word.FromInt(3), L: 43},
+		},
+	}
+	st := kcmisa.Instr{Op: kcmisa.SwitchOnTerm, SwT: &kcmisa.TermSwitch{Var: 50, Const: 51, List: 52, Struct: 53}}
+	var code []word.Word
+	for _, in := range []kcmisa.Instr{tbl, st, {Op: kcmisa.Proceed}} {
+		ws, err := kcmisa.Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code = append(code, ws...)
+	}
+	fetch := func(a uint32) word.Word { return code[a] }
+	// One slot per code address, the predecode-table pattern: each
+	// slot always re-decodes the same instruction, so its switch
+	// storage is grown once and reused on every later decode.
+	slots := make([]kcmisa.Instr, len(code))
+	for pc := 0; pc < len(code); {
+		pc += kcmisa.DecodeInto(fetch, uint32(pc), &slots[pc])
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for pc := 0; pc < len(code); {
+			pc += kcmisa.DecodeInto(fetch, uint32(pc), &slots[pc])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeInto allocated %.1f times per warm re-decode pass, want 0", allocs)
+	}
+}

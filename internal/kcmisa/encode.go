@@ -113,9 +113,28 @@ type Fetcher func(addr uint32) word.Word
 // Decode reads the instruction at addr and returns it together with
 // its size in words.
 func Decode(fetch Fetcher, addr uint32) (Instr, int) {
+	var in Instr
+	n := DecodeInto(fetch, addr, &in)
+	return in, n
+}
+
+// MaxInstrWords is the widest encodable instruction: a switch table
+// with the full 127 entries behind its opcode word.
+const MaxInstrWords = 1 + 2*127
+
+// DecodeInto decodes the instruction at addr into *in and returns its
+// size in words. It is the allocation-free twin of Decode for hot
+// loops and predecode caches: every field of *in is overwritten, and
+// the switch-table storage (in.Sw backing array, in.SwT pointee) of
+// the previous occupant is reused when it is large enough, so a
+// steady-state decode of already-seen shapes allocates nothing.
+// Callers therefore must not retain in.Sw or in.SwT across calls.
+func DecodeInto(fetch Fetcher, addr uint32, in *Instr) int {
 	w := fetch(addr)
 	op := Op(w >> opShift)
-	in := Instr{Op: op, Mark: w&markBit != 0}
+	sw := in.Sw[:0]
+	swt := in.SwT
+	*in = Instr{Op: op, Mark: w&markBit != 0}
 	val := w.Value()
 	r1 := Reg(w >> r1Shift & 0x3F)
 	r2 := Reg(w >> r2Shift & 0x3F)
@@ -124,35 +143,39 @@ func Decode(fetch Fetcher, addr uint32) (Instr, int) {
 	switch op {
 	case Add, Sub, Mul, Div, Mod, Rem, Band, Bor, Bxor, Shl, Shr, Abs, MinOp, MaxOp:
 		in.R1, in.R2, in.R3 = r1, r2, Reg(n)
-		return in, 1
+		return 1
 	case Call, Execute, TryMeElse, RetryMeElse, Try, Retry, Trust, Jump:
 		in.L = decLabel(val)
 		in.N = n // predicate arity on the alternative instructions
-		return in, 1
+		return 1
 	case GetConst, GetStruct, PutConst, PutStruct, UnifyConst, LoadConst:
 		in.R1, in.R2, in.N = r1, r2, n
 		in.K = word.Make(ktype, word.ZNone, val)
-		return in, 1
+		return 1
 	case SwitchOnTerm:
-		in.SwT = &TermSwitch{
+		if swt == nil {
+			swt = new(TermSwitch)
+		}
+		*swt = TermSwitch{
 			Var:    decLabel(val),
 			Const:  decLabel(fetch(addr + 1).Value()),
 			List:   decLabel(fetch(addr + 2).Value()),
 			Struct: decLabel(fetch(addr + 3).Value()),
 		}
-		return in, 4
+		in.SwT = swt
+		return 4
 	case SwitchOnConst, SwitchOnStruct:
 		in.L = decLabel(val)
-		in.Sw = make([]SwEntry, n)
 		for i := 0; i < n; i++ {
-			in.Sw[i] = SwEntry{
+			sw = append(sw, SwEntry{
 				Key: fetch(addr + 1 + uint32(2*i)),
 				L:   decLabel(fetch(addr + 2 + uint32(2*i)).Value()),
-			}
+			})
 		}
-		return in, 1 + 2*n
+		in.Sw = sw
+		return 1 + 2*n
 	default:
 		in.R1, in.R2, in.N = r1, r2, n
-		return in, 1
+		return 1
 	}
 }

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/kcmisa"
 	"repro/internal/term"
@@ -11,29 +12,67 @@ import (
 
 // Run boots the machine and executes from the given entry address
 // until Halt, HaltFail, a trap, or the step bound.
+//
+// The fetch-execute loop dispatches through the predecoded code cache
+// (see predecode.go): on a predecode hit it replays the instruction's
+// code-cache reads word for word — keeping the simulated cycle and
+// cache accounting identical to a decode — and executes the cached
+// kcmisa.Instr in place, with zero host allocation per step.
 func (m *Machine) Run(entry uint32) (Result, error) {
 	m.bootstrap(entry)
 	steps := uint64(0)
+	instrumented := m.prof != nil || m.hostProf != nil
 	for !m.halted && m.err == nil {
 		if steps >= m.cfg.MaxSteps {
 			m.errf("step limit exceeded (%d)", m.cfg.MaxSteps)
 			break
 		}
 		steps++
-		in, nw := kcmisa.Decode(m.fetchCode, m.p)
+		addr := m.p
+		var in *kcmisa.Instr
+		var nw int
+		if int64(addr) < int64(len(m.pwidth)) {
+			in = &m.pdec[addr]
+			if w := m.pwidth[addr]; w != 0 {
+				// Predecoded hit: touch the same code-cache words the
+				// decoder would fetch, in the same order. Once every
+				// word has been seen resident (and no conflict can
+				// evict it), the replay collapses to a read count.
+				nw = int(w & pwWidthMask)
+				if w&pwResident != 0 {
+					m.icache.NoteReads(nw)
+				} else {
+					cost, allHit, err := m.icache.Touch(addr, nw)
+					m.stats.Cycles += uint64(cost)
+					if err != nil && m.err == nil {
+						m.err = err
+					}
+					if allHit && m.pdecResidentOK {
+						m.pwidth[addr] = w | pwResident
+					}
+				}
+			} else {
+				nw = kcmisa.DecodeInto(m.fetch, addr, in)
+				if m.err == nil {
+					m.pwidth[addr] = uint16(nw)
+				}
+			}
+		} else {
+			// Beyond the predecoded range (executing past CodeTop):
+			// decode into the scratch slot without caching.
+			nw = kcmisa.DecodeInto(m.fetch, addr, &m.scratch)
+			in = &m.scratch
+		}
 		if m.err != nil {
 			break
 		}
 		if m.cfg.Trace != nil {
-			fmt.Fprintf(m.cfg.Trace, "%6d  %-40v %s\n", m.p, in, m.DumpState())
+			fmt.Fprintf(m.cfg.Trace, "%6d  %-40v %s\n", m.p, *in, m.DumpState())
 		}
 		m.stats.Instrs++
-		addr := m.p
 		m.p += uint32(nw)
-		if m.prof != nil {
-			before := m.stats.Cycles
-			m.exec(in)
-			m.prof.account(addr, m.stats.Cycles-before)
+		if instrumented {
+			m.execInstrumented(addr, in)
 		} else {
 			m.exec(in)
 		}
@@ -71,8 +110,34 @@ func (m *Machine) bootstrap(entry uint32) {
 	m.p = entry
 }
 
-// exec dispatches one decoded instruction.
-func (m *Machine) exec(in kcmisa.Instr) {
+// execInstrumented wraps exec with the optional monitors: the
+// per-predicate cycle profiler and the per-opcode host-time profiler.
+// It is kept out of the plain path so an unmonitored run pays one
+// branch, not two time.Now calls, per step.
+func (m *Machine) execInstrumented(addr uint32, in *kcmisa.Instr) {
+	var t0 time.Time
+	if m.hostProf != nil {
+		t0 = time.Now()
+	}
+	before := m.stats.Cycles
+	op := in.Op
+	m.exec(in)
+	if m.prof != nil {
+		m.prof.account(addr, m.stats.Cycles-before)
+	}
+	if m.hostProf != nil {
+		m.hostProf.account(op, time.Since(t0))
+	}
+}
+
+// unifyNilInstr is the canonical unify_nil expansion; exec never
+// mutates its operand, so one shared instance serves every step.
+var unifyNilInstr = kcmisa.Instr{Op: kcmisa.UnifyConst, K: word.Nil()}
+
+// exec dispatches one decoded instruction. The pointer is into the
+// predecoded code cache (or the scratch slot); exec must not mutate
+// or retain it.
+func (m *Machine) exec(in *kcmisa.Instr) {
 	if in.Mark {
 		m.stats.Inferences++
 	}
@@ -374,7 +439,7 @@ func (m *Machine) exec(in kcmisa.Instr) {
 			m.getConstant(in.K, m.canonCell(w, m.s-1))
 		}
 	case kcmisa.UnifyNil:
-		m.exec(kcmisa.Instr{Op: kcmisa.UnifyConst, K: word.Nil()})
+		m.exec(&unifyNilInstr)
 	case kcmisa.UnifyList:
 		// The current subterm slot holds the next cell of a list
 		// spine: continue unification there without a temporary.
@@ -702,7 +767,7 @@ func (m *Machine) numArg(w word.Word) (number, bool) {
 	}
 }
 
-func (m *Machine) arith(in kcmisa.Instr) {
+func (m *Machine) arith(in *kcmisa.Instr) {
 	a, ok := m.numArg(m.regs[in.R1])
 	if !ok {
 		return
@@ -814,7 +879,7 @@ func (m *Machine) arith(in kcmisa.Instr) {
 	m.regs[in.R3] = word.FromInt(r)
 }
 
-func (m *Machine) compare(in kcmisa.Instr) {
+func (m *Machine) compare(in *kcmisa.Instr) {
 	a, ok := m.numArg(m.regs[in.R1])
 	if !ok {
 		return
@@ -869,7 +934,7 @@ func (m *Machine) compare(in kcmisa.Instr) {
 	m.fail()
 }
 
-func (m *Machine) typeTest(in kcmisa.Instr) {
+func (m *Machine) typeTest(in *kcmisa.Instr) {
 	m.cyc(m.costs.TestOp)
 	v := m.deref(m.regs[in.R1])
 	if m.err != nil {

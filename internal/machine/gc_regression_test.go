@@ -52,7 +52,7 @@ func TestGCSharedEnvironmentChains(t *testing.T) {
 		preGC := m.gcStats.Collections
 		preH := m.h
 		m.stats.Instrs++
-		m.exec(in)
+		m.exec(&in)
 		if m.gcStats.Collections != preGC && testing.Verbose() {
 			dumpR(fmt.Sprintf("after GC #%d (preH=%#x h=%#x)", m.gcStats.Collections, preH, m.h))
 		}

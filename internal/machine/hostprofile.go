@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/kcmisa"
+)
+
+// The host-time monitor: where does the *simulator* spend its
+// wall-clock time, attributed per opcode. It is the complement of the
+// predicate profiler in profile.go — that one answers questions about
+// the simulated machine (cycles per predicate), this one answers
+// questions about the Go interpreter loop (nanoseconds per opcode),
+// which is what the predecode/allocation work optimises. Enabled by
+// Config.HostProfile; pprof (cmd/kcmbench -cpuprofile) gives the
+// function-level view, this gives the opcode-level one.
+
+// hostProfiler accumulates per-opcode host time and counts.
+type hostProfiler struct {
+	total [kcmisa.NumOps]time.Duration
+	count [kcmisa.NumOps]uint64
+}
+
+func (h *hostProfiler) account(op kcmisa.Op, d time.Duration) {
+	if op < kcmisa.NumOps {
+		h.total[op] += d
+		h.count[op]++
+	}
+}
+
+// HostProfileRow is one opcode's host-time attribution.
+type HostProfileRow struct {
+	Op    kcmisa.Op
+	Count uint64
+	Total time.Duration
+}
+
+// NsPerExec returns the mean host nanoseconds per execution.
+func (r HostProfileRow) NsPerExec() float64 {
+	if r.Count == 0 {
+		return 0
+	}
+	return float64(r.Total.Nanoseconds()) / float64(r.Count)
+}
+
+// HostProfile returns the per-opcode host-time attribution, heaviest
+// first. The machine must have been created with Config.HostProfile
+// on; otherwise it returns nil.
+func (m *Machine) HostProfile() []HostProfileRow {
+	if m.hostProf == nil {
+		return nil
+	}
+	var rows []HostProfileRow
+	for op := kcmisa.Op(0); op < kcmisa.NumOps; op++ {
+		if m.hostProf.count[op] == 0 {
+			continue
+		}
+		rows = append(rows, HostProfileRow{
+			Op:    op,
+			Count: m.hostProf.count[op],
+			Total: m.hostProf.total[op],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Total > rows[j].Total })
+	return rows
+}
+
+// RenderHostProfile formats the host-time profile.
+func RenderHostProfile(rows []HostProfileRow) string {
+	var total time.Duration
+	for _, r := range rows {
+		total += r.Total
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %8s %12s %10s\n",
+		"opcode", "host-ns", "%", "executions", "ns/exec")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = float64(r.Total) / float64(total) * 100
+		}
+		fmt.Fprintf(&b, "%-24v %12d %7.1f%% %12d %10.1f\n",
+			r.Op, r.Total.Nanoseconds(), pct, r.Count, r.NsPerExec())
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kcmisa"
+)
+
+// TestHostProfileAttributesTime checks the per-opcode host-time
+// monitor: with Config.HostProfile on, every executed instruction is
+// attributed to its opcode, the rows come out heaviest-first, and the
+// renderer produces one line per opcode.
+func TestHostProfileAttributesTime(t *testing.T) {
+	m, res, err := run(t, loopSrc, "loop(200).", Config{HostProfile: true})
+	if err != nil || !res.Success {
+		t.Fatalf("run: %v %v", err, res.Success)
+	}
+	rows := m.HostProfile()
+	if len(rows) == 0 {
+		t.Fatal("HostProfile returned no rows")
+	}
+	var execs uint64
+	for i, r := range rows {
+		execs += r.Count
+		if r.Count == 0 {
+			t.Fatalf("row %v has zero executions", r.Op)
+		}
+		if i > 0 && rows[i-1].Total < r.Total {
+			t.Fatalf("rows not sorted by host time: %v(%v) before %v(%v)",
+				rows[i-1].Op, rows[i-1].Total, r.Op, r.Total)
+		}
+	}
+	// Every executed instruction is accounted exactly once.
+	if execs != res.Stats.Instrs {
+		t.Fatalf("profiled %d executions, machine ran %d instructions", execs, res.Stats.Instrs)
+	}
+	// The loop body is call/arith heavy; its opcodes must appear.
+	seen := map[kcmisa.Op]bool{}
+	for _, r := range rows {
+		seen[r.Op] = true
+	}
+	if !seen[kcmisa.Call] {
+		t.Fatal("call missing from host profile of a recursive predicate")
+	}
+	out := RenderHostProfile(rows)
+	if !strings.Contains(out, "ns/exec") || !strings.Contains(out, "call") {
+		t.Fatalf("rendered profile missing expected content:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != len(rows)+1 {
+		t.Fatalf("rendered %d lines, want %d rows + header", got, len(rows))
+	}
+}
+
+// TestHostProfileDisabled: without the flag the monitor must stay out
+// of the hot loop entirely and report nothing.
+func TestHostProfileDisabled(t *testing.T) {
+	m, res, err := run(t, loopSrc, "loop(5).", Config{})
+	if err != nil || !res.Success {
+		t.Fatalf("run: %v %v", err, res.Success)
+	}
+	if rows := m.HostProfile(); rows != nil {
+		t.Fatalf("HostProfile without Config.HostProfile = %v, want nil", rows)
+	}
+}

@@ -67,6 +67,8 @@ func (m *Machine) LoadIncremental(code []word.Word) (uint32, error) {
 		}
 	}
 	m.codeTop += uint32(len(code))
+	m.growPredecode(m.codeTop)
+	m.invalidatePredecode(base, m.codeTop)
 	return base, nil
 }
 
@@ -119,5 +121,40 @@ func (m *Machine) LoadBatch(code []word.Word) (uint32, error) {
 		m.cmmu.Map(base+p*mmu.PageWords, frame)
 	}
 	m.codeTop = base + uint32(len(code))
+	m.growPredecode(m.codeTop)
+	m.invalidatePredecode(base, m.codeTop)
 	return base, nil
+}
+
+// PatchCode overwrites len(code) words of already-loaded code at
+// addr, writing through the code cache exactly as incremental
+// compilation does — the paper's coherence rule: a code-space store
+// updates memory and the write-through code cache in the same access,
+// so a later fetch can never see stale words. The predecoded entries
+// covering the patched range are invalidated for the same reason
+// (including instructions that begin before the range but extend into
+// it, and re-partitioned multi-word boundaries).
+//
+// The block is validated before any word lands: it must decode
+// cleanly, multi-word instructions must not be truncated, and control
+// transfers must target loaded code (boundaries inside the patch,
+// anywhere in [0, CodeTop) outside it).
+func (m *Machine) PatchCode(addr uint32, code []word.Word) error {
+	end := uint64(addr) + uint64(len(code))
+	if end > uint64(m.codeTop) {
+		return fmt.Errorf("machine: patch [%d,%d) outside loaded code [0,%d)",
+			addr, end, m.codeTop)
+	}
+	if ds := analysis.CheckPatched(code, addr, m.codeTop); len(ds) > 0 {
+		return &CodeError{Base: addr, Diags: ds}
+	}
+	for i, w := range code {
+		cost, err := m.icache.Write(addr+uint32(i), w)
+		m.stats.Cycles += uint64(cost)
+		if err != nil {
+			return fmt.Errorf("machine: patch: %w", err)
+		}
+	}
+	m.invalidatePredecode(addr, uint32(end))
+	return nil
 }

@@ -94,6 +94,13 @@ type Config struct {
 
 	// Profile enables the per-predicate cycle monitor (see Profile).
 	Profile bool
+
+	// HostProfile enables the per-opcode host-time monitor (see
+	// HostProfile): wall-clock nanoseconds the Go interpreter spends
+	// executing each opcode. It is a tool for optimising the simulator
+	// itself — it measures the host, not the simulated machine — and
+	// adds two clock reads per instruction, so it is off by default.
+	HostProfile bool
 }
 
 func boolDefault(p *bool, d bool) bool {
@@ -221,6 +228,23 @@ type Machine struct {
 	gcThreshold uint32
 	gcStats     GCStats
 	prof        *profiler
+	hostProf    *hostProfiler
+
+	// fetch is the code-fetch path bound once at construction, so the
+	// fetch-execute loop never materialises a method-value closure.
+	fetch kcmisa.Fetcher
+
+	// Predecoded code cache (host-side; see predecode.go): pdec[a]
+	// holds the decoded instruction at code address a and pwidth[a]
+	// its width in words (0 = not decoded). scratch is the decode
+	// target for addresses beyond the predecoded range.
+	pdec    []kcmisa.Instr
+	pwidth  []uint16
+	scratch kcmisa.Instr
+	// pdecResidentOK: the code image fits in the simulated code cache,
+	// so a line once filled can never be evicted and the pwResident
+	// fast path is sound (see predecode.go).
+	pdecResidentOK bool
 
 	// preds is the runtime predicate table for the meta-call escape:
 	// (atom index, arity) -> code entry.
@@ -271,6 +295,10 @@ func New(im *asm.Image, cfg Config) (*Machine, error) {
 	if cfg.Profile {
 		m.prof = newProfiler(im)
 	}
+	if cfg.HostProfile {
+		m.hostProf = &hostProfiler{}
+	}
+	m.fetch = m.fetchCode
 	m.preds = map[uint64]uint32{}
 	for pi, a := range im.Entries {
 		if idx, ok := im.Syms.Lookup(pi.Name); ok {
@@ -295,6 +323,7 @@ func New(im *asm.Image, cfg Config) (*Machine, error) {
 		}
 	}
 	m.codeTop = uint32(len(im.Code))
+	m.growPredecode(m.codeTop)
 	return m, nil
 }
 

@@ -26,4 +26,20 @@ go test -race ./...
 echo '== kcmvet'
 go run ./cmd/kcmvet -bench examples/*/main.go
 
+echo '== host-bench smoke (warm nrev must run allocation-free)'
+out=$(go test -run '^$' -bench '^BenchmarkHostNrev$' -benchtime 1x -benchmem .)
+echo "$out"
+echo "$out" | awk '
+/^BenchmarkHostNrev/ {
+    seen = 1
+    for (i = 1; i < NF; i++) {
+        if ($(i + 1) == "allocs/op" && $i + 0 != 0) {
+            print "FAIL: " $i " allocs/op on warm nrev, want 0" > "/dev/stderr"
+            exit 1
+        }
+    }
+}
+END { if (!seen) { print "FAIL: BenchmarkHostNrev did not run" > "/dev/stderr"; exit 1 } }
+'
+
 echo 'verify: all gates passed'
