@@ -9,9 +9,12 @@
 // Example:
 //
 //	kcm -q 'nrev([1,2,3], R), write(R), nl.' nrev.pl
+//	kcm -q 'member(X, [1,2,3]).' -n 0 lists.pl     # all solutions
+//	kcm -q 'main.' -timeout 2s -budget 1000000 prog.pl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +35,9 @@ func main() {
 		shallow = flag.Bool("shallow", true, "enable shallow backtracking (delayed choice points)")
 		warm    = flag.Bool("warm", false, "time a second run with warm caches (paper protocol)")
 		prof    = flag.Bool("profile", false, "per-predicate cycle profile (Prolog-level monitor)")
+		timeout = flag.Duration("timeout", 0, "abort the query after this wall-clock duration (0 = none)")
+		budget  = flag.Uint64("budget", 0, "abort after this many simulated instructions (0 = default bound)")
+		nsols   = flag.Int("n", 1, "enumerate up to k solutions (0 = all)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -59,34 +65,86 @@ func main() {
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
-	sol, err := prog.QueryConfig(*query, cfg)
+	opts := []core.QueryOption{core.WithConfig(cfg), core.WithMaxSolutions(*nsols)}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts = append(opts, core.WithContext(ctx))
+	}
+	if *budget > 0 {
+		opts = append(opts, core.WithBudget(*budget))
+	}
+
+	sols, final, err := enumerate(prog, *query, *budget, opts)
 	if err != nil {
 		fatal(err)
 	}
-	if *warm && sol.Success {
-		// Second, warm-cache run for the timing.
-		sol2, err := prog.QueryConfig(*query, cfg)
-		if err == nil {
-			sol = sol2
+	if *warm && len(sols) > 0 {
+		// Second run for the timing (the paper's best-of-several
+		// protocol).
+		if sols2, final2, err := enumerate(prog, *query, *budget, opts); err == nil && len(sols2) > 0 {
+			sols, final = sols2, final2
 		}
 	}
-	if !sol.Success {
+
+	if len(sols) == 0 {
 		fmt.Println("no")
+		printStats(final, *stats, *prof, *cache)
 		os.Exit(1)
 	}
 	fmt.Println("yes")
-	var names []string
-	for v := range sol.Bindings {
-		names = append(names, string(v))
+	for i, sol := range sols {
+		if len(sols) > 1 {
+			fmt.Printf("solution %d:\n", i+1)
+		}
+		var names []string
+		for v := range sol.Vars {
+			names = append(names, string(v))
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%s = %v\n", n, sol.Vars[term.Var(n)])
+		}
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Printf("%s = %v\n", n, sol.Bindings[term.Var(n)])
+	printStats(sols[len(sols)-1], *stats, *prof, *cache)
+}
+
+// enumerate collects up to the option-bounded number of solutions;
+// final is the outcome carrying the machine counters (the last
+// solution, or the failed result when there is none).
+func enumerate(prog *core.Program, query string, budget uint64, opts []core.QueryOption) ([]*core.Solution, *core.Solution, error) {
+	it, err := prog.Solutions(query, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sols []*core.Solution
+	for it.Next() {
+		sols = append(sols, it.Solution())
+	}
+	if it.Err() != nil {
+		return nil, nil, it.Err()
+	}
+	if it.Suspended() {
+		return nil, nil, fmt.Errorf("query suspended: budget of %d instructions exhausted", budget)
+	}
+	final := it.Solution()
+	if len(sols) > 0 {
+		final = sols[len(sols)-1]
+	}
+	return sols, final, nil
+}
+
+// printStats reports the timing line and the optional counter blocks
+// for the run that produced sol (counters are cumulative across an
+// enumeration).
+func printStats(sol *core.Solution, stats, prof, cache bool) {
+	if sol == nil {
+		return
 	}
 	s := sol.Result.Stats
 	fmt.Printf("\n%.3f ms, %d inferences, %.0f Klips (%d cycles at %.0f ns)\n",
 		s.Millis(), s.Inferences, s.Klips(), s.Cycles, s.NsPerCycle)
-	if *stats {
+	if stats {
 		fmt.Printf("instructions      %12d\n", s.Instrs)
 		fmt.Printf("deref steps       %12d\n", s.DerefSteps)
 		fmt.Printf("unify nodes       %12d\n", s.UnifyNodes)
@@ -100,11 +158,11 @@ func main() {
 		fmt.Printf("determinate necks %12d\n", s.NeckDet)
 		fmt.Printf("environments      %12d\n", s.EnvAllocs)
 	}
-	if *prof && len(sol.Result.Profile) > 0 {
+	if prof && len(sol.Result.Profile) > 0 {
 		fmt.Println()
 		fmt.Print(machine.RenderProfile(sol.Result.Profile, sol.Result.Stats.Cycles))
 	}
-	if *cache {
+	if cache {
 		d, c := sol.Result.DCache, sol.Result.CCache
 		fmt.Printf("data cache: %d reads, %d writes, %.2f%% hits, %d writebacks\n",
 			d.Reads, d.Writes, d.HitRatio()*100, d.WriteBacks)

@@ -36,13 +36,20 @@ func main() {
 	xs, _ := sol.Binding("Xs")
 	fmt.Println("append([a,b,c], [d,e], Xs)  =>  Xs =", xs)
 
-	// A query that backtracks: the second member solution.
-	sol, err = prog.Query("member(X, [1,2,3]), X > 1.")
+	// A nondeterministic query: enumerate every solution with the
+	// Solutions iterator (redo-driven backtracking on one machine).
+	it, err := prog.Solutions("member(X, [1,2,3]).")
 	if err != nil {
 		log.Fatal(err)
 	}
-	x, _ := sol.Binding("X")
-	fmt.Println("member(X, [1,2,3]), X > 1   =>  X =", x)
+	fmt.Print("member(X, [1,2,3])          => ")
+	for it.Next() {
+		fmt.Printf(" %s;", it.Solution())
+	}
+	if it.Err() != nil {
+		log.Fatal(it.Err())
+	}
+	fmt.Println(" no more solutions")
 
 	// A failing query.
 	sol, err = prog.Query("member(z, [a,b,c]).")

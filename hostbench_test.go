@@ -13,10 +13,12 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/compiler"
+	"repro/internal/engine"
 	"repro/internal/machine"
 )
 
@@ -77,6 +79,39 @@ func BenchmarkHostQueens(b *testing.B) {
 // BenchmarkHostZebra times the real-size search program.
 func BenchmarkHostZebra(b *testing.B) {
 	hostRun(b, bench.Program{Name: "zebra", Source: zebraSrc, PureQuery: "zebra(_Owner)."})
+}
+
+// BenchmarkHostPoolNrev times warm nrev throughput through an
+// engine.Pool under concurrent load: RunParallel issues queries from
+// GOMAXPROCS goroutines against one pool of warm machines sharing the
+// compiled image. Run with -cpu 1,4,8 to measure scaling; each
+// simulated machine is independent, so throughput should track
+// available cores (scripts/hostbench.sh records this in
+// BENCH_<n>.json together with the host's CPU count).
+func BenchmarkHostPoolNrev(b *testing.B) {
+	p, _ := bench.ByName("nrev1")
+	im, err := bench.Compile(p, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := engine.NewPool(machine.Config{}, 0) // GOMAXPROCS machines
+	if err := pool.Warm(context.Background(), im); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sol, err := pool.Query(ctx, im)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !sol.Success {
+				b.Fatal("nrev failed")
+			}
+		}
+	})
 }
 
 // BenchmarkHostBoot times the cold path: machine construction, image

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// fingerprint condenses the counters the kcmbench tables are built
+// from: warm-run cycles, inferences, and both caches' read/miss
+// counts. Any drift in the simulated cost model shows up here.
+func fingerprint(r RunResult) string {
+	return fmt.Sprintf("cycles=%d inf=%d dc=%d/%d+%d/%d cc=%d/%d",
+		r.Stats.Cycles, r.Stats.Inferences,
+		r.Result.DCache.Reads, r.Result.DCache.ReadMiss,
+		r.Result.DCache.Writes, r.Result.DCache.WriteMiss,
+		r.Result.CCache.Reads, r.Result.CCache.ReadMiss)
+}
+
+// pinnedWarm is the expected warm-run fingerprint of every suite
+// program on the default configuration, captured from the current
+// tree. The session-engine refactor (resumable RunFor, machine
+// pooling) must keep these byte-identical. If a change legitimately
+// alters the cost model, rerun the test: the failure message prints
+// each program's new fingerprint to paste here.
+var pinnedWarm = map[string]string{
+	"con1":     "cycles=94 inf=6 dc=12/0+30/0 cc=59/0",
+	"con6":     "cycles=743 inf=43 dc=123/0+213/0 cc=581/0",
+	"divide10": "cycles=856 inf=21 dc=184/0+303/0 cc=621/0",
+	"hanoi":    "cycles=28388 inf=1787 dc=3827/1+6145/4872 cc=12259/0",
+	"log10":    "cycles=336 inf=13 dc=64/0+85/0 cc=358/0",
+	"mutest":   "cycles=42108 inf=1214 dc=13587/0+8283/0 cc=17006/0",
+	"nrev1":    "cycles=7775 inf=499 dc=1579/0+1651/0 cc=6140/0",
+	"ops8":     "cycles=501 inf=19 dc=108/0+142/0 cc=397/0",
+	"palin25":  "cycles=5556 inf=355 dc=1155/0+1117/0 cc=4373/0",
+	"pri2":     "cycles=47278 inf=1163 dc=3218/0+1996/0 cc=8833/0",
+	"qs4":      "cycles=11114 inf=604 dc=2317/0+2204/0 cc=6928/0",
+	"queens":   "cycles=17145 inf=944 dc=3762/0+3624/0 cc=6375/0",
+	"query":    "cycles=142826 inf=2884 dc=18667/0+9409/0 cc=53113/0",
+	"times10":  "cycles=730 inf=21 dc=166/0+231/0 cc=567/0",
+}
+
+// TestCyclePin asserts that every suite program's warm-run cycle
+// count and cache statistics match the pinned values.
+func TestCyclePin(t *testing.T) {
+	for _, p := range Suite {
+		r, err := RunKCMWarm(p, false, machine.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got := fingerprint(r)
+		want, ok := pinnedWarm[p.Name]
+		if !ok {
+			t.Errorf("%s: no pinned fingerprint (got %q)", p.Name, got)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: counters drifted:\n got  %s\n want %s", p.Name, got, want)
+		}
+	}
+}

@@ -6,8 +6,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/compiler"
@@ -76,35 +79,179 @@ func (p *Program) CompileQuery(query string) (*asm.Image, error) {
 
 // Solution is the outcome of running a query on the machine.
 type Solution struct {
-	Success  bool
-	Bindings map[term.Var]term.Term
-	Result   machine.Result
+	Success bool
+	Vars    map[term.Var]term.Term // named query variables (reader names)
+	Result  machine.Result
 }
 
 // Binding returns the value of a named query variable.
 func (s *Solution) Binding(name string) (term.Term, bool) {
-	t, ok := s.Bindings[term.Var(name)]
+	t, ok := s.Vars[term.Var(name)]
 	return t, ok
 }
 
-// Query runs a goal against the program on a default-configuration
-// KCM and returns the first solution.
-func (p *Program) Query(query string) (*Solution, error) {
-	return p.QueryConfig(query, machine.Config{})
+// Bindings returns the named query variables keyed by their source
+// spelling, the host-friendly view of Vars.
+func (s *Solution) Bindings() map[string]term.Term {
+	out := make(map[string]term.Term, len(s.Vars))
+	for v, t := range s.Vars {
+		out[string(v)] = t
+	}
+	return out
+}
+
+// String renders the solution in a stable form: "no" for failure,
+// "yes" for a solution without named variables, otherwise the
+// bindings sorted by variable name ("X = 1, Ys = [a,b]").
+func (s *Solution) String() string {
+	if !s.Success {
+		return "no"
+	}
+	if len(s.Vars) == 0 {
+		return "yes"
+	}
+	names := make([]string, 0, len(s.Vars))
+	for v := range s.Vars {
+		names = append(names, string(v))
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(n)
+		b.WriteString(" = ")
+		b.WriteString(s.Vars[term.Var(n)].String())
+	}
+	return b.String()
+}
+
+// QueryOption configures one Query or Solutions run. Options are
+// applied in order, so WithWriter after WithConfig overrides the
+// configuration's writer (and vice versa).
+type QueryOption func(*queryOpts)
+
+type queryOpts struct {
+	cfg       machine.Config
+	ctx       context.Context
+	budget    uint64
+	budgetSet bool
+	maxSols   int
+}
+
+// WithConfig replaces the whole machine configuration.
+func WithConfig(cfg machine.Config) QueryOption {
+	return func(o *queryOpts) { o.cfg = cfg }
+}
+
+// WithWriter directs write/1 and nl/0 output to w.
+func WithWriter(w io.Writer) QueryOption {
+	return func(o *queryOpts) { o.cfg.Out = w }
+}
+
+// WithContext attaches a cancellation context: the run is polled
+// every machine.CheckStride instructions, and a cancellation or
+// deadline surfaces as machine.ErrCancelled / machine.ErrDeadline.
+func WithContext(ctx context.Context) QueryOption {
+	return func(o *queryOpts) { o.ctx = ctx }
+}
+
+// WithBudget bounds execution to n instructions per run slice. On a
+// one-shot Query, exhausting the budget fails with
+// machine.ErrStepBudget. On a Solutions iterator the budget applies
+// per Next call and exhaustion is resumable: Next reports no solution
+// with Suspended() true, and the next Next call continues the
+// suspended search with a fresh budget.
+func WithBudget(n uint64) QueryOption {
+	return func(o *queryOpts) { o.budget = n; o.budgetSet = n > 0 }
+}
+
+// WithMaxSolutions stops a Solutions iterator after k solutions
+// (0 = enumerate all). One-shot Query always stops at the first.
+func WithMaxSolutions(k int) QueryOption {
+	return func(o *queryOpts) { o.maxSols = k }
+}
+
+// Query runs a goal against the program and returns its first
+// solution. With no options it uses a default-configuration KCM and
+// runs to completion; functional options select writer, machine
+// configuration, cancellation context and step budget.
+func (p *Program) Query(query string, opts ...QueryOption) (*Solution, error) {
+	it, err := p.Solutions(query, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if it.Next() {
+		return it.Solution(), nil
+	}
+	if it.Err() != nil {
+		return nil, it.Err()
+	}
+	if it.Suspended() {
+		return nil, fmt.Errorf("core: %w: query suspended after %d-step budget",
+			machine.ErrStepBudget, it.budget)
+	}
+	return it.Solution(), nil // the failed outcome, with its Result
 }
 
 // QueryWriter runs a goal sending write/1 output to w.
+//
+// Deprecated: use Query(query, WithWriter(w)).
 func (p *Program) QueryWriter(query string, w io.Writer) (*Solution, error) {
-	return p.QueryConfig(query, machine.Config{Out: w})
+	return p.Query(query, WithWriter(w))
 }
 
 // QueryConfig runs a goal with an explicit machine configuration.
+//
+// Deprecated: use Query(query, WithConfig(cfg)).
 func (p *Program) QueryConfig(query string, cfg machine.Config) (*Solution, error) {
+	return p.Query(query, WithConfig(cfg))
+}
+
+// Solutions compiles a goal and returns an iterator over its
+// solutions, driven by redo-based enumeration on one machine: after
+// each solution the iterator forces a failure into the topmost choice
+// point and resumes the search. The usual loop is
+//
+//	it, err := prog.Solutions("member(X, [1,2,3]).")
+//	for it.Next() {
+//	    use(it.Solution())
+//	}
+//	if it.Err() != nil { ... }
+type Solutions struct {
+	m         *machine.Machine
+	im        *asm.Image
+	ctx       context.Context
+	budget    uint64
+	budgetSet bool
+	maxSols   int
+
+	cur       *Solution // last outcome (success or the final failure)
+	err       error
+	suspended bool
+	delivered int
+	state     int
+}
+
+const (
+	iterRun  = iota // next step: RunFor (fresh goal or resumed slice)
+	iterRedo        // a solution is out; Redo before the next RunFor
+	iterDone        // exhausted, failed, errored, or maxSols reached
+)
+
+// Solutions starts a solution iterator for the goal. No instruction
+// runs until the first Next call.
+func (p *Program) Solutions(query string, opts ...QueryOption) (*Solutions, error) {
+	var o queryOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	im, err := p.CompileQuery(query)
 	if err != nil {
 		return nil, err
 	}
-	m, err := machine.New(im, cfg)
+	m, err := machine.New(im, o.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -112,13 +259,85 @@ func (p *Program) QueryConfig(query string, cfg machine.Config) (*Solution, erro
 	if !ok {
 		return nil, fmt.Errorf("core: no query entry point")
 	}
-	res, err := m.Run(entry)
-	if err != nil {
-		return nil, err
+	budget := o.budget
+	if !o.budgetSet {
+		// Legacy semantics: the configuration's hard step bound (the
+		// machine default when unset), raised as an error, not a
+		// resumable suspension.
+		budget = o.cfg.MaxSteps
+		if budget == 0 {
+			budget = 1_000_000_000
+		}
 	}
-	sol := &Solution{Success: res.Success, Result: res}
-	if res.Success {
-		sol.Bindings = m.QueryBindings(im.QueryVars)
-	}
-	return sol, nil
+	m.Begin(entry)
+	return &Solutions{
+		m: m, im: im, ctx: o.ctx,
+		budget: budget, budgetSet: o.budgetSet, maxSols: o.maxSols,
+	}, nil
 }
+
+// Next advances to the next solution. It returns false when the
+// search is exhausted, errored, suspended on its step budget, or hit
+// the WithMaxSolutions bound; check Err and Suspended to tell the
+// cases apart. After a budget suspension, calling Next again resumes
+// the search with a fresh budget.
+func (it *Solutions) Next() bool {
+	it.suspended = false
+	if it.err != nil || it.state == iterDone {
+		return false
+	}
+	if it.state == iterRedo {
+		if err := it.m.Redo(); err != nil {
+			it.err = err
+			it.state = iterDone
+			return false
+		}
+		it.state = iterRun
+	}
+	st, err := it.m.RunFor(it.ctx, it.budget)
+	if err != nil {
+		it.err = err
+		it.state = iterDone
+		return false
+	}
+	if st == machine.Suspended {
+		if !it.budgetSet {
+			it.err = fmt.Errorf("core: %w: %d steps", machine.ErrStepBudget, it.budget)
+			it.state = iterDone
+			return false
+		}
+		it.suspended = true // state stays iterRun: Next resumes
+		return false
+	}
+	res := it.m.Result()
+	if !res.Success {
+		it.cur = &Solution{Success: false, Result: res}
+		it.state = iterDone
+		return false
+	}
+	it.cur = &Solution{
+		Success: true,
+		Vars:    it.m.QueryBindings(it.im.QueryVars),
+		Result:  res,
+	}
+	it.delivered++
+	if it.maxSols > 0 && it.delivered >= it.maxSols {
+		it.state = iterDone
+	} else {
+		it.state = iterRedo
+	}
+	return true
+}
+
+// Solution returns the outcome of the last Next call that produced
+// one: the current solution after Next reported true, or the final
+// failed outcome (Success=false, machine counters populated) once the
+// search is exhausted.
+func (it *Solutions) Solution() *Solution { return it.cur }
+
+// Suspended reports whether the last Next call stopped on its step
+// budget rather than an outcome; the search resumes on the next Next.
+func (it *Solutions) Suspended() bool { return it.suspended }
+
+// Err returns the first error the iteration hit, if any.
+func (it *Solutions) Err() error { return it.err }

@@ -1,0 +1,216 @@
+// Package engine serves concurrent queries from a pool of warm KCM
+// machines. The paper's KCM is a back-end processor: a host holds the
+// compiled image and dispatches goals to the accelerator, which is
+// exactly the shape of a serving system — one compiled image, many
+// independent machine states. A Pool builds each machine once per
+// image (loading code and heating the host-side predecode cache) and
+// thereafter resets and re-boots it per query, so steady-state query
+// dispatch costs no image loading and no allocation of machine state.
+//
+// Machines sharing an image are safe to run concurrently: the image
+// and its symbol table are read-only during execution (term.SymTab is
+// internally locked for the readback path), and each machine owns its
+// simulated memory, caches and MMU.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Pool is a fixed-size pool of machines per compiled image. The zero
+// value is not usable; call NewPool.
+type Pool struct {
+	cfg  machine.Config
+	size int
+
+	mu     sync.Mutex
+	images map[*asm.Image]*imagePool
+}
+
+// imagePool tracks the machines built for one image. free is buffered
+// to the pool size, so release never blocks; built (guarded by
+// Pool.mu) counts machines in existence, capping construction.
+type imagePool struct {
+	free  chan *machine.Machine
+	built int
+}
+
+// NewPool creates a pool that serves each image with up to
+// machinesPerImage concurrent machines, all built with cfg.
+// machinesPerImage <= 0 selects GOMAXPROCS(0).
+func NewPool(cfg machine.Config, machinesPerImage int) *Pool {
+	if machinesPerImage <= 0 {
+		machinesPerImage = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		cfg:    cfg,
+		size:   machinesPerImage,
+		images: make(map[*asm.Image]*imagePool),
+	}
+}
+
+// Size is the per-image machine cap.
+func (p *Pool) Size() int { return p.size }
+
+// Option configures one pool query.
+type Option func(*opts)
+
+type opts struct {
+	out    io.Writer
+	budget uint64
+}
+
+// WithWriter directs the query's write/1 and nl/0 output to w. By
+// default pooled queries discard output.
+func WithWriter(w io.Writer) Option {
+	return func(o *opts) { o.out = w }
+}
+
+// WithBudget bounds the query to n simulated instructions; exceeding
+// it fails the query with machine.ErrStepBudget. The default is the
+// pool configuration's MaxSteps (or the machine default when unset).
+func WithBudget(n uint64) Option {
+	return func(o *opts) { o.budget = n }
+}
+
+// Query runs a compiled query image to its first solution on a pooled
+// machine: acquire (or build) a warm machine, reset its counters,
+// re-boot it at the image's query entry, run under ctx, read the
+// bindings back, release the machine. The returned Solution carries
+// the same per-query counters a dedicated machine.Run would have
+// produced — pooling changes who runs the query, not what it costs.
+func (p *Pool) Query(ctx context.Context, im *asm.Image, options ...Option) (*core.Solution, error) {
+	var o opts
+	for _, opt := range options {
+		opt(&o)
+	}
+	entry, ok := im.Entry(compiler.QueryPI)
+	if !ok {
+		return nil, fmt.Errorf("engine: image has no query entry point")
+	}
+	budget := o.budget
+	if budget == 0 {
+		budget = p.cfg.MaxSteps
+	}
+	if budget == 0 {
+		budget = 1_000_000_000
+	}
+
+	m, ip, err := p.acquire(ctx, im)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { ip.free <- m }()
+
+	m.Reset() // also clears any fault a previous query left behind
+	m.SetOut(o.out)
+	m.Begin(entry)
+	st, err := m.RunFor(ctx, budget)
+	if err != nil {
+		return nil, err
+	}
+	if st == machine.Suspended {
+		return nil, fmt.Errorf("engine: %w: query exceeded %d steps",
+			machine.ErrStepBudget, budget)
+	}
+	res := m.Result()
+	sol := &core.Solution{Success: res.Success, Result: res}
+	if res.Success {
+		// Read back before release: the bindings live in this
+		// machine's simulated memory.
+		sol.Vars = m.QueryBindings(im.QueryVars)
+	}
+	return sol, nil
+}
+
+// Warm builds the image's full complement of machines and runs the
+// query once on each, so later queries start from warm simulated
+// caches (the paper's warm-run timing protocol). It is optional:
+// Query builds machines on demand.
+func (p *Pool) Warm(ctx context.Context, im *asm.Image) error {
+	entry, ok := im.Entry(compiler.QueryPI)
+	if !ok {
+		return fmt.Errorf("engine: image has no query entry point")
+	}
+	// Hold all machines at once so every pool member gets one warm
+	// run, instead of re-warming the same machine repeatedly.
+	machines := make([]*machine.Machine, 0, p.size)
+	var ip *imagePool
+	defer func() {
+		for _, m := range machines {
+			ip.free <- m
+		}
+	}()
+	for i := 0; i < p.size; i++ {
+		m, mip, err := p.acquire(ctx, im)
+		if err != nil {
+			return err
+		}
+		ip = mip
+		machines = append(machines, m)
+		m.Reset()
+		m.SetOut(nil)
+		m.Begin(entry)
+		if _, err := m.RunFor(ctx, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// acquire returns a machine for im: a free pooled one if available, a
+// newly built one while under the cap, else it blocks until a machine
+// is released or ctx is cancelled.
+func (p *Pool) acquire(ctx context.Context, im *asm.Image) (*machine.Machine, *imagePool, error) {
+	p.mu.Lock()
+	ip := p.images[im]
+	if ip == nil {
+		ip = &imagePool{free: make(chan *machine.Machine, p.size)}
+		p.images[im] = ip
+	}
+	select {
+	case m := <-ip.free:
+		p.mu.Unlock()
+		return m, ip, nil
+	default:
+	}
+	if ip.built < p.size {
+		ip.built++
+		p.mu.Unlock()
+		m, err := machine.New(im, p.cfg)
+		if err != nil {
+			p.mu.Lock()
+			ip.built--
+			p.mu.Unlock()
+			return nil, nil, err
+		}
+		return m, ip, nil
+	}
+	p.mu.Unlock()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case m := <-ip.free:
+		return m, ip, nil
+	case <-done:
+		cause := ctx.Err()
+		sentinel := machine.ErrCancelled
+		if errors.Is(cause, context.DeadlineExceeded) {
+			sentinel = machine.ErrDeadline
+		}
+		return nil, nil, fmt.Errorf("engine: %w: waiting for a pooled machine: %w",
+			sentinel, cause)
+	}
+}

@@ -11,22 +11,31 @@ import (
 )
 
 // Run boots the machine and executes from the given entry address
-// until Halt, HaltFail, a trap, or the step bound.
+// until Halt, HaltFail, a trap, or the step bound. Exceeding
+// Config.MaxSteps is a hard fault on this legacy path (wrapping
+// ErrStepBudget); Begin/RunFor is the resumable alternative.
+func (m *Machine) Run(entry uint32) (Result, error) {
+	m.bootstrap(entry)
+	if m.steps(m.cfg.MaxSteps) >= m.cfg.MaxSteps && !m.halted && m.err == nil {
+		m.errw(ErrStepBudget, "%d steps", m.cfg.MaxSteps)
+	}
+	return m.result(), m.err
+}
+
+// steps is the fetch-execute loop: it executes at most limit
+// instructions, stopping early on halt or machine fault, and returns
+// the number executed. It is the hot path shared by Run and RunFor —
+// no allocation, no clock reads, no context polls happen here.
 //
-// The fetch-execute loop dispatches through the predecoded code cache
-// (see predecode.go): on a predecode hit it replays the instruction's
+// The loop dispatches through the predecoded code cache (see
+// predecode.go): on a predecode hit it replays the instruction's
 // code-cache reads word for word — keeping the simulated cycle and
 // cache accounting identical to a decode — and executes the cached
 // kcmisa.Instr in place, with zero host allocation per step.
-func (m *Machine) Run(entry uint32) (Result, error) {
-	m.bootstrap(entry)
+func (m *Machine) steps(limit uint64) uint64 {
 	steps := uint64(0)
 	instrumented := m.prof != nil || m.hostProf != nil
-	for !m.halted && m.err == nil {
-		if steps >= m.cfg.MaxSteps {
-			m.errf("step limit exceeded (%d)", m.cfg.MaxSteps)
-			break
-		}
+	for !m.halted && m.err == nil && steps < limit {
 		steps++
 		addr := m.p
 		var in *kcmisa.Instr
@@ -45,7 +54,7 @@ func (m *Machine) Run(entry uint32) (Result, error) {
 					cost, allHit, err := m.icache.Touch(addr, nw)
 					m.stats.Cycles += uint64(cost)
 					if err != nil && m.err == nil {
-						m.err = err
+						m.err = classifyTrap(err)
 					}
 					if allHit && m.pdecResidentOK {
 						m.pwidth[addr] = w | pwResident
@@ -77,7 +86,13 @@ func (m *Machine) Run(entry uint32) (Result, error) {
 			m.exec(in)
 		}
 	}
-	res := Result{
+	return steps
+}
+
+// result snapshots the run outcome: the counters the evaluation
+// section reports plus the memory-system statistics.
+func (m *Machine) result() Result {
+	return Result{
 		Success: m.halted && !m.failed,
 		Stats:   m.stats,
 		DCache:  m.dcache.Stats(),
@@ -87,7 +102,6 @@ func (m *Machine) Run(entry uint32) (Result, error) {
 		Profile: m.Profile(),
 		GC:      m.gcStats,
 	}
-	return res, m.err
 }
 
 func (m *Machine) bootstrap(entry uint32) {
@@ -95,6 +109,14 @@ func (m *Machine) bootstrap(entry uint32) {
 	if m.stats.NsPerCycle == 0 {
 		m.stats.NsPerCycle = 80
 	}
+	// Discard any execution state a previous query left behind, so a
+	// reused machine boots exactly like a fresh one (the shallow flag
+	// in particular must not leak: a stale SF would redirect the first
+	// failure to a stale shadow alternative).
+	m.halted, m.failed = false, false
+	m.sf, m.cf = false, false
+	m.mode = false
+	m.s = 0
 	m.h = m.cfg.GlobalBase
 	m.tr = m.cfg.TrailBase
 	m.e = 0
@@ -612,7 +634,7 @@ func (m *Machine) exec(in *kcmisa.Instr) {
 		m.builtin(in.N)
 
 	default:
-		m.errf("illegal opcode %v", in.Op)
+		m.errw(ErrIllegalOpcode, "%v", in.Op)
 	}
 }
 
@@ -759,10 +781,10 @@ func (m *Machine) numArg(w word.Word) (number, bool) {
 	case word.TFloat:
 		return number{isFloat: true, f: math.Float32frombits(v.Value())}, true
 	case word.TRef:
-		m.errf("arithmetic: unbound operand")
+		m.errw(ErrArithmetic, "unbound operand")
 		return number{}, false
 	default:
-		m.errf("arithmetic: non-numeric operand %v", v)
+		m.errw(ErrArithmetic, "non-numeric operand %v", v)
 		return number{}, false
 	}
 }
@@ -803,7 +825,7 @@ func (m *Machine) arith(in *kcmisa.Instr) {
 			r = af * bf
 		case kcmisa.Div:
 			if bf == 0 {
-				m.errf("float division by zero")
+				m.errw(ErrArithmetic, "float division by zero")
 				return
 			}
 			r = af / bf
@@ -818,7 +840,7 @@ func (m *Machine) arith(in *kcmisa.Instr) {
 				r = bf
 			}
 		default:
-			m.errf("%v on floats", in.Op)
+			m.errw(ErrArithmetic, "%v on floats", in.Op)
 			return
 		}
 		m.regs[in.R3] = word.FromFloat(math.Float32bits(r))
@@ -835,13 +857,13 @@ func (m *Machine) arith(in *kcmisa.Instr) {
 		r = ai * bi
 	case kcmisa.Div:
 		if bi == 0 {
-			m.errf("integer division by zero")
+			m.errw(ErrArithmetic, "integer division by zero")
 			return
 		}
 		r = ai / bi
 	case kcmisa.Mod:
 		if bi == 0 {
-			m.errf("mod by zero")
+			m.errw(ErrArithmetic, "mod by zero")
 			return
 		}
 		r = ai % bi
@@ -851,7 +873,7 @@ func (m *Machine) arith(in *kcmisa.Instr) {
 		}
 	case kcmisa.Rem:
 		if bi == 0 {
-			m.errf("rem by zero")
+			m.errw(ErrArithmetic, "rem by zero")
 			return
 		}
 		r = ai % bi

@@ -364,13 +364,13 @@ func (m *Machine) Stats() Stats { return m.stats }
 // address word.
 func (m *Machine) readData(addr word.Word) (word.Word, bool) {
 	if err := m.dmmu.Check(addr, false); err != nil {
-		m.err = err
+		m.err = classifyTrap(err)
 		return 0, false
 	}
 	w, cost, err := m.dcache.Read(addr.Value(), addr.Zone())
 	m.stats.Cycles += uint64(cost)
 	if err != nil {
-		m.err = err
+		m.err = classifyTrap(err)
 		return 0, false
 	}
 	return w, true
@@ -379,13 +379,13 @@ func (m *Machine) readData(addr word.Word) (word.Word, bool) {
 // writeData writes through zone check and data cache.
 func (m *Machine) writeData(addr word.Word, w word.Word) bool {
 	if err := m.dmmu.Check(addr, true); err != nil {
-		m.err = err
+		m.err = classifyTrap(err)
 		return false
 	}
 	cost, err := m.dcache.Write(addr.Value(), addr.Zone(), w)
 	m.stats.Cycles += uint64(cost)
 	if err != nil {
-		m.err = err
+		m.err = classifyTrap(err)
 		return false
 	}
 	return true
@@ -405,7 +405,7 @@ func (m *Machine) fetchCode(a uint32) word.Word {
 	w, cost, err := m.icache.Read(a)
 	m.stats.Cycles += uint64(cost)
 	if err != nil && m.err == nil {
-		m.err = err
+		m.err = classifyTrap(err)
 	}
 	return w
 }
@@ -413,6 +413,14 @@ func (m *Machine) fetchCode(a uint32) word.Word {
 func (m *Machine) errf(format string, args ...any) {
 	if m.err == nil {
 		m.err = fmt.Errorf("machine: P=%d: %s", m.p, fmt.Sprintf(format, args...))
+	}
+}
+
+// errw records a machine fault wrapping one of the exported taxonomy
+// sentinels (errors.go), so hosts can dispatch with errors.Is.
+func (m *Machine) errw(sentinel error, format string, args ...any) {
+	if m.err == nil {
+		m.err = fmt.Errorf("machine: P=%d: %w: %s", m.p, sentinel, fmt.Sprintf(format, args...))
 	}
 }
 
@@ -429,4 +437,25 @@ func (m *Machine) ResetStats() {
 	m.cmmu.ResetStats()
 	m.halted = false
 	m.failed = false
+}
+
+// Reset returns a warm machine to a fresh-query state: counters
+// cleared (ResetStats semantics, so the memory system stays warm —
+// cache lines, page tables and the predecoded code survive) plus any
+// pending fault and GC history discarded. The engine pool calls it
+// between queries; the next Begin/Run rebuilds the whole register
+// state, so nothing else needs to be restored.
+func (m *Machine) Reset() {
+	m.ResetStats()
+	m.err = nil
+	m.gcStats = GCStats{}
+}
+
+// SetOut redirects write/1 and nl/0 output (nil selects io.Discard).
+// Pooled machines are rebound to the writer of each query they serve.
+func (m *Machine) SetOut(w io.Writer) {
+	if w == nil {
+		w = io.Discard
+	}
+	m.out = w
 }

@@ -23,11 +23,27 @@ const (
 	addrMask = 1<<28 - 1
 )
 
+// TrapKind classifies a memory-management fault so the machine can
+// map it onto its exported error taxonomy without parsing messages.
+type TrapKind int
+
+const (
+	TrapOther             TrapKind = iota
+	TrapUnimplementedBits          // address uses bits above the 28 implemented
+	TrapUnmappedZone               // zone descriptor not installed
+	TrapBadType                    // data type not allowed as address into the zone
+	TrapBounds                     // address outside the zone limits (stack overflow)
+	TrapWriteProtect               // write to a protected zone
+	TrapPageRange                  // virtual page out of range
+	TrapOutOfMemory                // no physical frame left
+)
+
 // Trap is a memory-management fault: an access outside the
 // implemented address range, a zone violation, or a type not allowed
 // as an address into the zone.
 type Trap struct {
 	Addr word.Word
+	Kind TrapKind
 	Why  string
 }
 
@@ -132,24 +148,24 @@ func (u *MMU) Check(addr word.Word, isWrite bool) error {
 	a := addr.Value()
 	if a&^uint32(addrMask) != 0 {
 		u.stats.ZoneTraps++
-		return &Trap{addr, "address uses unimplemented bits"}
+		return &Trap{addr, TrapUnimplementedBits, "address uses unimplemented bits"}
 	}
 	z := u.zones[addr.Zone()]
 	if z.End == z.Start {
 		u.stats.ZoneTraps++
-		return &Trap{addr, "unmapped zone"}
+		return &Trap{addr, TrapUnmappedZone, "unmapped zone"}
 	}
 	if !z.Allows(addr.Type()) {
 		u.stats.ZoneTraps++
-		return &Trap{addr, fmt.Sprintf("type %v not allowed as address into zone %v", addr.Type(), addr.Zone())}
+		return &Trap{addr, TrapBadType, fmt.Sprintf("type %v not allowed as address into zone %v", addr.Type(), addr.Zone())}
 	}
 	if a < z.Start || a >= z.End {
 		u.stats.ZoneTraps++
-		return &Trap{addr, fmt.Sprintf("address outside zone %v limits [%#x,%#x)", addr.Zone(), z.Start, z.End)}
+		return &Trap{addr, TrapBounds, fmt.Sprintf("address outside zone %v limits [%#x,%#x)", addr.Zone(), z.Start, z.End)}
 	}
 	if isWrite && z.WriteProtect {
 		u.stats.ZoneTraps++
-		return &Trap{addr, "zone is write-protected"}
+		return &Trap{addr, TrapWriteProtect, "zone is write-protected"}
 	}
 	return nil
 }
@@ -161,13 +177,13 @@ func (u *MMU) Translate(va uint32) (uint32, error) {
 	u.stats.Translations++
 	vp := va >> PageBits
 	if vp >= NumPages {
-		return 0, &Trap{word.DataPtr(word.ZNone, va), "virtual page out of range"}
+		return 0, &Trap{word.DataPtr(word.ZNone, va), TrapPageRange, "virtual page out of range"}
 	}
 	f := u.table[vp]
 	if f < 0 {
 		nf, ok := u.frames.Alloc()
 		if !ok {
-			return 0, &Trap{word.DataPtr(word.ZNone, va), "out of physical memory"}
+			return 0, &Trap{word.DataPtr(word.ZNone, va), TrapOutOfMemory, "out of physical memory"}
 		}
 		u.table[vp] = int32(nf)
 		f = int32(nf)

@@ -25,7 +25,7 @@ func runBoth(t *testing.T, src, query string) (kcmOK bool, kcmB map[term.Var]ter
 	if err != nil {
 		t.Fatalf("kcm %q: %v", query, err)
 	}
-	kcmOK, kcmB, kcmInf = sol.Success, sol.Bindings, sol.Result.Stats.Inferences
+	kcmOK, kcmB, kcmInf = sol.Success, sol.Vars, sol.Result.Stats.Inferences
 
 	// Reference side: compile independently (fresh symbol table).
 	clauses, err := reader.ParseAll(src)

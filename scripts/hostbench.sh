@@ -25,17 +25,26 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench '^BenchmarkHost' -benchmem -benchtime "$btime" -count "$count" . | tee "$raw"
+# The pool benchmark again at explicit parallelism levels: entries keep
+# their -cpu suffix (PoolNrev-4, PoolNrev-8) so the file records the
+# scaling curve. On a single-core host the curve is flat; host_cpus
+# below says which case this file is.
+go test -run '^$' -bench '^BenchmarkHostPoolNrev$' -benchmem -benchtime "$btime" -count "$count" -cpu 1,4,8 . | tee -a "$raw"
 
 {
     printf '{\n'
     printf '  "bench_id": "%s",\n' "$n"
+    printf '  "host_cpus": %s,\n' "$(nproc)"
+    printf '  "note": "PoolNrev-N records warm-pool query throughput at GOMAXPROCS=N; scaling is bounded by host_cpus (flat when host_cpus=1)",\n'
     printf '  "protocol": "min of %s runs x %s, warm machine (see hostbench_test.go)",\n' "$count" "$btime"
     printf '  "benchmarks": {\n'
     awk '
     /^BenchmarkHost/ {
         name = $1
         sub(/^BenchmarkHost/, "", name)
-        sub(/-[0-9]+$/, "", name)
+        # Pool benchmarks keep their -cpu suffix: the scaling across
+        # parallelism levels is the datum.
+        if (name !~ /^Pool/) sub(/-[0-9]+$/, "", name)
         delete v
         for (i = 3; i < NF; i += 2) v[$(i + 1)] = $i
         if (!(name in ns)) { order[++m] = name }

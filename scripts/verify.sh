@@ -23,6 +23,12 @@ go build ./...
 echo '== go test -race'
 go test -race ./...
 
+echo '== engine pool race test'
+go test -race -run 'TestPoolRace' ./internal/engine/
+
+echo '== cycle-count pin (kcmbench counters must not drift)'
+go test -run 'TestCyclePin' ./internal/bench/
+
 echo '== kcmvet'
 go run ./cmd/kcmvet -bench examples/*/main.go
 
