@@ -11,6 +11,8 @@
 //	kcm -q 'nrev([1,2,3], R), write(R), nl.' nrev.pl
 //	kcm -q 'member(X, [1,2,3]).' -n 0 lists.pl     # all solutions
 //	kcm -q 'main.' -timeout 2s -budget 1000000 prog.pl
+//	kcm -q 'main.' -profile queens.pl              # cycles by predicate
+//	kcm -q 'main.' -tracejson t.jsonl -folded f.txt queens.pl
 package main
 
 import (
@@ -24,20 +26,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/term"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		query   = flag.String("q", "main.", "query goal to run")
-		stats   = flag.Bool("stats", false, "print machine counters")
-		cache   = flag.Bool("cache", false, "print cache statistics")
-		trace   = flag.Bool("trace", false, "trace every instruction (macrocode monitor)")
-		shallow = flag.Bool("shallow", true, "enable shallow backtracking (delayed choice points)")
-		warm    = flag.Bool("warm", false, "time a second run with warm caches (paper protocol)")
-		prof    = flag.Bool("profile", false, "per-predicate cycle profile (Prolog-level monitor)")
-		timeout = flag.Duration("timeout", 0, "abort the query after this wall-clock duration (0 = none)")
-		budget  = flag.Uint64("budget", 0, "abort after this many simulated instructions (0 = default bound)")
-		nsols   = flag.Int("n", 1, "enumerate up to k solutions (0 = all)")
+		query     = flag.String("q", "main.", "query goal to run")
+		stats     = flag.Bool("stats", false, "print machine counters")
+		cache     = flag.Bool("cache", false, "print cache statistics")
+		traceText = flag.Bool("trace", false, "trace every instruction (macrocode monitor)")
+		shallow   = flag.Bool("shallow", true, "enable shallow backtracking (delayed choice points)")
+		warm      = flag.Bool("warm", false, "time a second run with warm caches (paper protocol)")
+		prof      = flag.Bool("profile", false, "per-predicate cycle profile (flat + cumulative tables)")
+		tracejson = flag.String("tracejson", "", "stream structured trace events to this JSONL file")
+		folded    = flag.String("folded", "", "write folded stacks (flamegraph collapsed format) to this file")
+		timeout   = flag.Duration("timeout", 0, "abort the query after this wall-clock duration (0 = none)")
+		budget    = flag.Uint64("budget", 0, "abort after this many simulated instructions (0 = default bound)")
+		nsols     = flag.Int("n", 1, "enumerate up to k solutions (0 = all)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -58,11 +63,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := machine.Config{Out: os.Stdout, Profile: *prof}
+	cfg := machine.Config{Out: os.Stdout}
 	if !*shallow {
 		cfg.Shallow = machine.Off
 	}
-	if *trace {
+	if *traceText {
 		cfg.Trace = os.Stderr
 	}
 	opts := []core.QueryOption{core.WithConfig(cfg), core.WithMaxSolutions(*nsols)}
@@ -75,21 +80,74 @@ func main() {
 		opts = append(opts, core.WithBudget(*budget))
 	}
 
-	sols, final, err := enumerate(prog, *query, *budget, opts)
+	// The JSONL sink is opened once and streams every run (with -warm,
+	// both the cold and the warm run; each run's events restart at
+	// sequence 1 on its own machine).
+	var jsonl *trace.JSONL
+	if *tracejson != "" {
+		f, err := os.Create(*tracejson)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		jsonl = trace.NewJSONL(f)
+		defer func() {
+			if err := jsonl.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "kcm: trace:", err)
+			}
+		}()
+	}
+	profiling := *prof || *folded != ""
+
+	// run executes one enumeration with its own profiler, so with
+	// -warm the reported profile covers only the displayed (warm) run
+	// while the JSONL stream keeps everything.
+	run := func() ([]*core.Solution, *core.Solution, *trace.Profiler, error) {
+		ro := opts
+		var pr *trace.Profiler
+		if profiling {
+			pr = trace.NewProfiler()
+			ro = append(ro[:len(ro):len(ro)], core.WithProfile(pr))
+		}
+		if jsonl != nil {
+			ro = append(ro[:len(ro):len(ro)], core.WithTrace(jsonl))
+		}
+		sols, final, err := enumerate(prog, *query, *budget, ro)
+		return sols, final, pr, err
+	}
+
+	sols, final, pr, err := run()
 	if err != nil {
 		fatal(err)
 	}
 	if *warm && len(sols) > 0 {
 		// Second run for the timing (the paper's best-of-several
 		// protocol).
-		if sols2, final2, err := enumerate(prog, *query, *budget, opts); err == nil && len(sols2) > 0 {
-			sols, final = sols2, final2
+		if sols2, final2, pr2, err := run(); err == nil && len(sols2) > 0 {
+			sols, final, pr = sols2, final2, pr2
 		}
+	}
+
+	if *folded != "" && pr != nil {
+		f, err := os.Create(*folded)
+		if err != nil {
+			fatal(err)
+		}
+		werr := pr.WriteFolded(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+	}
+	if !*prof {
+		pr = nil
 	}
 
 	if len(sols) == 0 {
 		fmt.Println("no")
-		printStats(final, *stats, *prof, *cache)
+		printStats(final, *stats, *cache, pr)
 		os.Exit(1)
 	}
 	fmt.Println("yes")
@@ -106,7 +164,7 @@ func main() {
 			fmt.Printf("%s = %v\n", n, sol.Vars[term.Var(n)])
 		}
 	}
-	printStats(sols[len(sols)-1], *stats, *prof, *cache)
+	printStats(sols[len(sols)-1], *stats, *cache, pr)
 }
 
 // enumerate collects up to the option-bounded number of solutions;
@@ -137,7 +195,7 @@ func enumerate(prog *core.Program, query string, budget uint64, opts []core.Quer
 // printStats reports the timing line and the optional counter blocks
 // for the run that produced sol (counters are cumulative across an
 // enumeration).
-func printStats(sol *core.Solution, stats, prof, cache bool) {
+func printStats(sol *core.Solution, stats, cache bool, pr *trace.Profiler) {
 	if sol == nil {
 		return
 	}
@@ -158,9 +216,9 @@ func printStats(sol *core.Solution, stats, prof, cache bool) {
 		fmt.Printf("determinate necks %12d\n", s.NeckDet)
 		fmt.Printf("environments      %12d\n", s.EnvAllocs)
 	}
-	if prof && len(sol.Result.Profile) > 0 {
+	if pr != nil {
 		fmt.Println()
-		fmt.Print(machine.RenderProfile(sol.Result.Profile, sol.Result.Stats.Cycles))
+		trace.RenderProfile(os.Stdout, pr.Rows(), pr.Total())
 	}
 	if cache {
 		d, c := sol.Result.DCache, sol.Result.CCache

@@ -13,6 +13,12 @@
 //	kcmbench -cpuprofile cpu.pprof          # pprof CPU profile of the run
 //	kcmbench -memprofile mem.pprof          # heap profile at exit
 //	kcmbench -hostprofile nrev1             # per-opcode host ns for one program
+//
+// Profiling the simulated machine (where the paper's cycles go,
+// predicate by predicate, next to the whole-run tables):
+//
+//	kcmbench -predprofile queens            # one program's warm-run profile
+//	kcmbench -predprofile all               # the whole suite
 package main
 
 import (
@@ -25,7 +31,39 @@ import (
 	"repro/internal/bench"
 	"repro/internal/compiler"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
+
+// predProfile runs one benchmark program under the warm-run protocol
+// with the per-predicate cycle profiler attached and prints where the
+// simulated cycles go. The profiler self-clears on the counter reset
+// between the runs, so the tables cover exactly the timed (warm) run
+// and their total equals the reported cycle count.
+func predProfile(name string) error {
+	p, ok := bench.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown program %q", name)
+	}
+	pr := trace.NewProfiler()
+	r, err := bench.RunKCMWarm(p, false, machine.Config{Hook: pr})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Predicate cycle profile of %s (warm run: %d cycles, %.3f ms)\n",
+		name, r.Stats.Cycles, r.Millis())
+	trace.RenderProfile(os.Stdout, pr.Rows(), pr.Total())
+	fmt.Println()
+	return nil
+}
+
+func predProfileAll() error {
+	for _, p := range bench.Suite {
+		if err := predProfile(p.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // hostProfile runs one benchmark program twice (cold, then warm — the
 // steady state the predecode work targets) with the per-opcode
@@ -64,6 +102,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to `file`")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile of the simulator to `file`")
 	hostprofile := flag.String("hostprofile", "", "print the per-opcode host-time profile of one benchmark `program` and exit")
+	predprofile := flag.String("predprofile", "", "print the per-predicate simulated-cycle profile of one benchmark `program` (or \"all\") and exit")
 	flag.Parse()
 
 	fail := func(name string, err error) {
@@ -98,6 +137,18 @@ func main() {
 	if *hostprofile != "" {
 		if err := hostProfile(*hostprofile); err != nil {
 			fail("hostprofile", err)
+		}
+		return
+	}
+	if *predprofile != "" {
+		var err error
+		if *predprofile == "all" {
+			err = predProfileAll()
+		} else {
+			err = predProfile(*predprofile)
+		}
+		if err != nil {
+			fail("predprofile", err)
 		}
 		return
 	}

@@ -58,6 +58,11 @@ type Data struct {
 	split bool
 	stats Stats
 	back  Backing
+
+	// OnMiss, when non-nil, observes every miss (read and write) after
+	// the statistics are counted. Observation only: it must not touch
+	// the cache. nil costs one never-taken branch per miss.
+	OnMiss func(write bool, va uint32, z word.Zone)
 }
 
 // DataWords is the data cache capacity.
@@ -86,6 +91,9 @@ func (c *Data) Read(va uint32, z word.Zone) (word.Word, int, error) {
 		return ln.data, 0, nil
 	}
 	c.stats.ReadMiss++
+	if c.OnMiss != nil {
+		c.OnMiss(false, va, z)
+	}
 	cost, err := c.fill(ln, va, z)
 	if err != nil {
 		return 0, cost, err
@@ -101,6 +109,9 @@ func (c *Data) Write(va uint32, z word.Zone, w word.Word) (int, error) {
 	cost := 0
 	if !(ln.valid && ln.va == va && ln.zone == z) {
 		c.stats.WriteMiss++
+		if c.OnMiss != nil {
+			c.OnMiss(true, va, z)
+		}
 		// Allocate on write; no fetch needed for a full-word write
 		// with line size one, but a dirty victim must go to memory.
 		ev, err := c.evict(ln)
@@ -194,6 +205,12 @@ type Code struct {
 	back     Backing
 	prefetch int
 	stats    Stats
+
+	// OnMiss, when non-nil, observes every read miss after the
+	// statistics are counted (Touch misses route through Read and are
+	// covered; NoteReads counts guaranteed hits, so it never misses).
+	// Observation only: it must not touch the cache.
+	OnMiss func(va uint32)
 }
 
 // CodeWords is the code cache capacity.
@@ -213,6 +230,9 @@ func (c *Code) Read(va uint32) (word.Word, int, error) {
 		return ln.data, 0, nil
 	}
 	c.stats.ReadMiss++
+	if c.OnMiss != nil {
+		c.OnMiss(va)
+	}
 	w, cost, err := c.back.Read(va)
 	if err != nil {
 		return 0, cost, err

@@ -17,6 +17,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/reader"
 	"repro/internal/term"
+	"repro/internal/trace"
 )
 
 // Program is a consulted Prolog program ready to be queried.
@@ -138,6 +139,7 @@ type queryOpts struct {
 	budget    uint64
 	budgetSet bool
 	maxSols   int
+	hooks     []trace.Hook
 }
 
 // WithConfig replaces the whole machine configuration.
@@ -171,6 +173,29 @@ func WithBudget(n uint64) QueryOption {
 // (0 = enumerate all). One-shot Query always stops at the first.
 func WithMaxSolutions(k int) QueryOption {
 	return func(o *queryOpts) { o.maxSols = k }
+}
+
+// WithTrace attaches a trace hook to the query's machine. Several
+// hooks (and a hook already present in the configuration) compose:
+// each receives the full event stream. Tracing never changes the
+// simulated counters; see internal/trace.
+func WithTrace(h trace.Hook) QueryOption {
+	return func(o *queryOpts) {
+		if h != nil {
+			o.hooks = append(o.hooks, h)
+		}
+	}
+}
+
+// WithProfile attaches a per-predicate cycle profiler; after the
+// query, read pr.Rows(), pr.Total() and pr.FoldedMap(). Equivalent to
+// WithTrace(pr).
+func WithProfile(pr *trace.Profiler) QueryOption {
+	return func(o *queryOpts) {
+		if pr != nil {
+			o.hooks = append(o.hooks, pr)
+		}
+	}
 }
 
 // Query runs a goal against the program and returns its first
@@ -250,6 +275,9 @@ func (p *Program) Solutions(query string, opts ...QueryOption) (*Solutions, erro
 	im, err := p.CompileQuery(query)
 	if err != nil {
 		return nil, err
+	}
+	if len(o.hooks) > 0 {
+		o.cfg.Hook = trace.Tee(append([]trace.Hook{o.cfg.Hook}, o.hooks...)...)
 	}
 	m, err := machine.New(im, o.cfg)
 	if err != nil {

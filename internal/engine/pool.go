@@ -25,6 +25,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Pool is a fixed-size pool of machines per compiled image. The zero
@@ -35,6 +36,7 @@ type Pool struct {
 
 	mu     sync.Mutex
 	images map[*asm.Image]*imagePool
+	agg    *trace.Agg // pool-wide profile; nil until EnableProfiling
 }
 
 // imagePool tracks the machines built for one image. free is buffered
@@ -61,6 +63,45 @@ func NewPool(cfg machine.Config, machinesPerImage int) *Pool {
 
 // Size is the per-image machine cap.
 func (p *Pool) Size() int { return p.size }
+
+// EnableProfiling arms per-predicate cycle profiling for the pool:
+// every machine built afterwards carries its own trace.Profiler (no
+// cross-machine locking on the hot path), and each query's attribution
+// is merged into one pool-wide aggregate after the query completes.
+// Call it before the first Query — machines built earlier run
+// unprofiled. Returns the aggregate; idempotent.
+func (p *Pool) EnableProfiling() *trace.Agg {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.agg == nil {
+		p.agg = trace.NewAgg()
+		p.cfg.HookFactory = func() trace.Hook { return trace.NewProfiler() }
+	}
+	return p.agg
+}
+
+// Profile returns the pool-wide aggregated profile, or nil when
+// profiling was never enabled.
+func (p *Pool) Profile() *trace.Agg {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.agg
+}
+
+// harvest merges a machine's per-query profile into the pool
+// aggregate. It must run after the query's last slice and before the
+// machine is released (the next query's Reset clears the profiler).
+func (p *Pool) harvest(m *machine.Machine) {
+	p.mu.Lock()
+	agg := p.agg
+	p.mu.Unlock()
+	if agg == nil {
+		return
+	}
+	if prof, ok := m.Hook().(*trace.Profiler); ok {
+		agg.Add(prof)
+	}
+}
 
 // Option configures one pool query.
 type Option func(*opts)
@@ -111,6 +152,10 @@ func (p *Pool) Query(ctx context.Context, im *asm.Image, options ...Option) (*co
 		return nil, err
 	}
 	defer func() { ip.free <- m }()
+	// LIFO defers: the profile is harvested before the machine goes
+	// back to the pool, on every exit path (even a faulted query's
+	// partial cycles are attributed somewhere).
+	defer p.harvest(m)
 
 	m.Reset() // also clears any fault a previous query left behind
 	m.SetOut(o.out)
@@ -148,6 +193,9 @@ func (p *Pool) Warm(ctx context.Context, im *asm.Image) error {
 	var ip *imagePool
 	defer func() {
 		for _, m := range machines {
+			// Warm runs are real simulated work; their cycles join the
+			// pool profile like any query's.
+			p.harvest(m)
 			ip.free <- m
 		}
 	}()

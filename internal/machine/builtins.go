@@ -291,4 +291,10 @@ func (m *Machine) biCall() {
 	m.b0 = m.b
 	m.sf = false
 	m.p = entry
+	if m.hook != nil {
+		// The call-boundary event must follow the escape's own KInstr
+		// event; park the target for the traced loop to emit.
+		m.pendingCall = entry
+		m.pendingCallSet = true
+	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kcmisa"
 	"repro/internal/term"
+	"repro/internal/trace"
 	"repro/internal/word"
 )
 
@@ -33,6 +34,12 @@ func (m *Machine) Run(entry uint32) (Result, error) {
 // cache accounting identical to a decode — and executes the cached
 // kcmisa.Instr in place, with zero host allocation per step.
 func (m *Machine) steps(limit uint64) uint64 {
+	if m.hook != nil {
+		// One branch per chunk routes to the traced twin of this loop
+		// (traced.go); the plain path below stays allocation-free and
+		// emission-free.
+		return m.stepsTraced(limit)
+	}
 	steps := uint64(0)
 	instrumented := m.prof != nil || m.hostProf != nil
 	for !m.halted && m.err == nil && steps < limit {
@@ -105,6 +112,13 @@ func (m *Machine) result() Result {
 }
 
 func (m *Machine) bootstrap(entry uint32) {
+	hooked := m.hook != nil
+	var before uint64
+	if hooked {
+		m.traceP = entry
+		m.pendingCallSet = false
+		before = m.stats.Cycles
+	}
 	m.stats.NsPerCycle = m.cfg.CycleNs
 	if m.stats.NsPerCycle == 0 {
 		m.stats.NsPerCycle = 80
@@ -130,6 +144,9 @@ func (m *Machine) bootstrap(entry uint32) {
 	m.pushCP(0, 0, m.h, m.tr)
 	m.b0 = m.b
 	m.p = entry
+	if hooked {
+		m.emit(trace.Event{Kind: trace.KBoot, P: entry, Addr: m.b, Cycles: m.stats.Cycles - before})
+	}
 }
 
 // execInstrumented wraps exec with the optional monitors: the

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/term"
+	"repro/internal/trace"
 	"repro/internal/word"
 )
 
@@ -101,6 +102,20 @@ type Config struct {
 	// itself — it measures the host, not the simulated machine — and
 	// adds two clock reads per instruction, so it is off by default.
 	HostProfile bool
+
+	// Hook receives the structured trace event stream
+	// (internal/trace): instruction dispatch, control boundaries,
+	// choice-point traffic, trail writes, cache misses, MMU traps,
+	// session suspend/resume. nil disables tracing entirely — the hot
+	// loop is untouched and no event is ever constructed. Tracing never
+	// changes simulated counters; it only attributes them.
+	Hook trace.Hook
+
+	// HookFactory builds a fresh hook per machine; used instead of Hook
+	// when one Config fans out to many machines (the engine pool), so
+	// each machine owns an unshared hook and no cross-machine locking
+	// is needed. Ignored when Hook is set.
+	HookFactory func() trace.Hook
 }
 
 func boolDefault(p *bool, d bool) bool {
@@ -230,6 +245,13 @@ type Machine struct {
 	prof        *profiler
 	hostProf    *hostProfiler
 
+	// Trace state (nil hook = tracing off; see traced.go).
+	hook           trace.Hook
+	evSeq          uint64 // per-machine event sequence number
+	traceP         uint32 // code address of the instruction being executed
+	pendingCall    uint32 // meta-call target awaiting its boundary event
+	pendingCallSet bool
+
 	// fetch is the code-fetch path bound once at construction, so the
 	// fetch-execute loop never materialises a method-value closure.
 	fetch kcmisa.Fetcher
@@ -324,6 +346,25 @@ func New(im *asm.Image, cfg Config) (*Machine, error) {
 	}
 	m.codeTop = uint32(len(im.Code))
 	m.growPredecode(m.codeTop)
+	if h := cfg.Hook; h != nil {
+		m.hook = h
+	} else if cfg.HookFactory != nil {
+		m.hook = cfg.HookFactory()
+	}
+	if m.hook != nil {
+		// Hand address-to-predicate resolution to hooks that want it,
+		// then route the memory system's callbacks into the stream.
+		// Installed after the batch code load so its untimed page
+		// allocations stay out of the trace.
+		if b, ok := m.hook.(trace.PredBinder); ok {
+			preds := make([]trace.Pred, 0, len(im.Entries))
+			for pi, a := range im.Entries {
+				preds = append(preds, trace.Pred{Start: a, Name: pi.String()})
+			}
+			b.BindPreds(trace.NewPredTable(preds))
+		}
+		m.installTraceHooks()
+	}
 	return m, nil
 }
 
@@ -437,6 +478,11 @@ func (m *Machine) ResetStats() {
 	m.cmmu.ResetStats()
 	m.halted = false
 	m.failed = false
+	if m.hook != nil {
+		// Every counter the events attribute against was cleared, so
+		// stateful consumers (the cycle profiler) clear with it.
+		m.emit(trace.Event{Kind: trace.KReset, P: m.p})
+	}
 }
 
 // Reset returns a warm machine to a fresh-query state: counters

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"repro/internal/trace"
 	"repro/internal/word"
 )
 
@@ -63,6 +64,9 @@ func (m *Machine) trailIf(ref word.Word) bool {
 		return false
 	}
 	m.tr++
+	if m.hook != nil {
+		m.emit(trace.Event{Kind: trace.KTrail, P: m.traceP, Addr: ref.Value(), Arg: uint64(ref.Zone())})
+	}
 	return true
 }
 
@@ -375,6 +379,9 @@ func (m *Machine) pushCP(arity int, nextAlt uint32, savedH, savedTR uint32) bool
 	m.bLTOP = ltop
 	m.hb = savedH
 	m.cf = true
+	if m.hook != nil {
+		m.emit(trace.Event{Kind: trace.KCPCreate, P: m.traceP, Addr: top, Arg: uint64(arity)})
+	}
 	return true
 }
 
@@ -396,6 +403,9 @@ func (m *Machine) popCP() bool {
 	prev, ok := m.rd(word.ZChoice, m.b+cpPrev)
 	if !ok {
 		return false
+	}
+	if m.hook != nil {
+		m.emit(trace.Event{Kind: trace.KCPPop, P: m.traceP, Addr: m.b})
 	}
 	m.b = prev.Value()
 	return m.reloadB()
@@ -436,6 +446,9 @@ func (m *Machine) failDeep() {
 	m.cf = true
 	m.sf = false
 	m.p = next
+	if m.hook != nil {
+		m.emit(trace.Event{Kind: trace.KCPRestore, P: m.traceP, Addr: b, Arg: uint64(next)})
+	}
 }
 
 // fail dispatches a unification or test failure: a shallow fail
@@ -448,6 +461,9 @@ func (m *Machine) fail() {
 		m.unwindTrail(m.shadowTR)
 		m.h = m.shadowH
 		m.p = uint32(m.shadowNext)
+		if m.hook != nil {
+			m.emit(trace.Event{Kind: trace.KFailShallow, P: m.traceP, Addr: m.p})
+		}
 		return
 	}
 	m.sf = false

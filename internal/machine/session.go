@@ -2,7 +2,10 @@ package machine
 
 import (
 	"context"
+	"fmt"
 	"math"
+
+	"repro/internal/trace"
 )
 
 // This file is the resumable session face of the machine: the KCM of
@@ -80,6 +83,9 @@ func (m *Machine) RunFor(ctx context.Context, budget uint64) (Status, error) {
 	if ctx != nil {
 		done = ctx.Done()
 	}
+	if m.hook != nil && !m.halted && m.err == nil {
+		m.emit(trace.Event{Kind: trace.KResume, P: m.p})
+	}
 	for !m.halted && m.err == nil && budget > 0 {
 		if done != nil {
 			select {
@@ -100,6 +106,9 @@ func (m *Machine) RunFor(ctx context.Context, budget uint64) (Status, error) {
 	if m.halted {
 		return Halted, nil
 	}
+	if m.hook != nil {
+		m.emit(trace.Event{Kind: trace.KSuspend, P: m.p})
+	}
 	return Suspended, nil
 }
 
@@ -110,21 +119,31 @@ func (m *Machine) RunFor(ctx context.Context, budget uint64) (Status, error) {
 // point, whose saved continuation is the halt_fail word at code
 // address 0, and halts with failure — the enumeration is exhausted.
 //
-// It returns ErrNotResumable if the machine is still running or
-// faulted, and ErrExhausted if it already halted with failure.
+// It returns an error wrapping ErrNotResumable if the machine is
+// still running or faulted (a faulted machine's error also stays in
+// the chain, so both sentinels match with errors.Is), and ErrExhausted
+// if it already halted with failure. Every non-nil return leaves the
+// machine untouched: calling Redo again after ErrExhausted keeps
+// returning ErrExhausted and never re-runs the query.
 func (m *Machine) Redo() error {
 	switch {
 	case m.err != nil:
-		return m.err
+		return fmt.Errorf("%w: machine faulted: %w", ErrNotResumable, m.err)
 	case !m.halted:
 		return ErrNotResumable
 	case m.failed:
 		return ErrExhausted
 	}
 	m.halted = false
-	// Dispatch through the normal failure path: a still-pending
-	// shallow try resumes at its shadow alternative, anything else
-	// restores the top choice point.
+	if m.hook != nil {
+		before := m.stats.Cycles
+		// Dispatch through the normal failure path: a still-pending
+		// shallow try resumes at its shadow alternative, anything else
+		// restores the top choice point.
+		m.fail()
+		m.emit(trace.Event{Kind: trace.KRedo, P: m.p, Cycles: m.stats.Cycles - before})
+		return m.err
+	}
 	m.fail()
 	return m.err
 }

@@ -257,3 +257,83 @@ func TestSuspendedResumeSameBindings(t *testing.T) {
 		}
 	}
 }
+
+// TestRedoExhaustedIdempotent is the regression test for the
+// exhaustion contract: once the enumeration is exhausted, every
+// further Redo returns ErrExhausted without executing a single
+// instruction or disturbing any counter (an earlier version fell
+// through into the failure path and re-ran the query), and RunFor on
+// the exhausted machine reports Halted immediately.
+func TestRedoExhaustedIdempotent(t *testing.T) {
+	im := buildImage(t, memberSrc, "member(X, [1,2,3]).")
+	entry, _ := im.Entry(compiler.QueryPI)
+	m, err := New(im, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(entry)
+	sols := 0
+	for {
+		st, err := m.RunFor(nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != Halted {
+			t.Fatalf("status %v", st)
+		}
+		if !m.Succeeded() {
+			break
+		}
+		sols++
+		if err := m.Redo(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sols != 3 {
+		t.Fatalf("enumerated %d solutions, want 3", sols)
+	}
+
+	before := m.Result()
+	for i := 0; i < 3; i++ {
+		if err := m.Redo(); !errors.Is(err, ErrExhausted) {
+			t.Fatalf("redo %d after exhaustion: %v, want ErrExhausted", i+1, err)
+		}
+	}
+	if st, err := m.RunFor(nil, 0); err != nil || st != Halted {
+		t.Fatalf("RunFor after exhaustion: %v %v, want Halted", st, err)
+	}
+	after := m.Result()
+	if before.Stats != after.Stats {
+		t.Fatalf("exhausted machine executed work:\nbefore %+v\nafter  %+v",
+			before.Stats, after.Stats)
+	}
+	if after.Success {
+		t.Fatal("exhausted machine reports success")
+	}
+}
+
+// TestRedoFaultedKeepsCause: Redo on a faulted machine refuses with
+// ErrNotResumable while keeping the original fault in the error chain,
+// and repeating the call changes nothing.
+func TestRedoFaultedKeepsCause(t *testing.T) {
+	im := buildImage(t, "spin :- spin.\n", "spin.")
+	entry, _ := im.Entry(compiler.QueryPI)
+	m, err := New(im, Config{MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(entry); !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("spin run: %v, want ErrStepBudget", err)
+	}
+	first := m.Redo()
+	if !errors.Is(first, ErrNotResumable) {
+		t.Fatalf("redo on faulted machine: %v, want ErrNotResumable", first)
+	}
+	if !errors.Is(first, ErrStepBudget) {
+		t.Fatalf("fault cause dropped from the chain: %v", first)
+	}
+	second := m.Redo()
+	if second == nil || second.Error() != first.Error() {
+		t.Fatalf("second redo differs: %v vs %v", second, first)
+	}
+}

@@ -51,6 +51,14 @@ func (t *Trap) Error() string {
 	return fmt.Sprintf("mmu trap: %v: %s", t.Addr, t.Why)
 }
 
+// trap routes a fault past the observer before returning it.
+func (u *MMU) trap(t *Trap) error {
+	if u.OnTrap != nil {
+		u.OnTrap(t)
+	}
+	return t
+}
+
 // Zone describes one virtual-memory zone: the address window it
 // spans, the set of data types allowed to point into it, and write
 // protection. Limits may be changed dynamically (the run-time system
@@ -108,6 +116,12 @@ type MMU struct {
 	frames *FrameAlloc
 	zones  [16]Zone
 	stats  Stats
+
+	// OnTrap, when non-nil, observes every trap after the statistics
+	// are counted; OnPageFault observes every demand-allocated page.
+	// Observation only: neither may touch the MMU.
+	OnTrap      func(*Trap)
+	OnPageFault func(va uint32)
 }
 
 // Stats counts translation activity.
@@ -148,24 +162,24 @@ func (u *MMU) Check(addr word.Word, isWrite bool) error {
 	a := addr.Value()
 	if a&^uint32(addrMask) != 0 {
 		u.stats.ZoneTraps++
-		return &Trap{addr, TrapUnimplementedBits, "address uses unimplemented bits"}
+		return u.trap(&Trap{addr, TrapUnimplementedBits, "address uses unimplemented bits"})
 	}
 	z := u.zones[addr.Zone()]
 	if z.End == z.Start {
 		u.stats.ZoneTraps++
-		return &Trap{addr, TrapUnmappedZone, "unmapped zone"}
+		return u.trap(&Trap{addr, TrapUnmappedZone, "unmapped zone"})
 	}
 	if !z.Allows(addr.Type()) {
 		u.stats.ZoneTraps++
-		return &Trap{addr, TrapBadType, fmt.Sprintf("type %v not allowed as address into zone %v", addr.Type(), addr.Zone())}
+		return u.trap(&Trap{addr, TrapBadType, fmt.Sprintf("type %v not allowed as address into zone %v", addr.Type(), addr.Zone())})
 	}
 	if a < z.Start || a >= z.End {
 		u.stats.ZoneTraps++
-		return &Trap{addr, TrapBounds, fmt.Sprintf("address outside zone %v limits [%#x,%#x)", addr.Zone(), z.Start, z.End)}
+		return u.trap(&Trap{addr, TrapBounds, fmt.Sprintf("address outside zone %v limits [%#x,%#x)", addr.Zone(), z.Start, z.End)})
 	}
 	if isWrite && z.WriteProtect {
 		u.stats.ZoneTraps++
-		return &Trap{addr, TrapWriteProtect, "zone is write-protected"}
+		return u.trap(&Trap{addr, TrapWriteProtect, "zone is write-protected"})
 	}
 	return nil
 }
@@ -177,17 +191,20 @@ func (u *MMU) Translate(va uint32) (uint32, error) {
 	u.stats.Translations++
 	vp := va >> PageBits
 	if vp >= NumPages {
-		return 0, &Trap{word.DataPtr(word.ZNone, va), TrapPageRange, "virtual page out of range"}
+		return 0, u.trap(&Trap{word.DataPtr(word.ZNone, va), TrapPageRange, "virtual page out of range"})
 	}
 	f := u.table[vp]
 	if f < 0 {
 		nf, ok := u.frames.Alloc()
 		if !ok {
-			return 0, &Trap{word.DataPtr(word.ZNone, va), TrapOutOfMemory, "out of physical memory"}
+			return 0, u.trap(&Trap{word.DataPtr(word.ZNone, va), TrapOutOfMemory, "out of physical memory"})
 		}
 		u.table[vp] = int32(nf)
 		f = int32(nf)
 		u.stats.PageFaults++
+		if u.OnPageFault != nil {
+			u.OnPageFault(va)
+		}
 	}
 	return uint32(f)<<PageBits | va&(PageWords-1), nil
 }

@@ -1,0 +1,68 @@
+package trace
+
+import "sort"
+
+// Pred is one predicate's code range start and display name
+// ("name/arity").
+type Pred struct {
+	Start uint32
+	Name  string
+}
+
+// PredTable resolves code addresses to predicates: a sorted list of
+// entry points, where a predicate owns every address from its entry
+// up to the next one. Addresses below the first entry (the bootstrap
+// halt_fail word at 0) resolve to the system bucket.
+type PredTable struct {
+	preds []Pred // sorted by Start
+}
+
+// NewPredTable builds a table from the given entries (copied, then
+// sorted by start address; ties broken by name for determinism).
+func NewPredTable(preds []Pred) *PredTable {
+	ps := append([]Pred(nil), preds...)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Start != ps[j].Start {
+			return ps[i].Start < ps[j].Start
+		}
+		return ps[i].Name < ps[j].Name
+	})
+	return &PredTable{preds: ps}
+}
+
+// SystemName labels addresses owned by no predicate (the bootstrap
+// word) in profiles and rendered traces.
+const SystemName = "<system>"
+
+// Len returns the number of predicates.
+func (t *PredTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.preds)
+}
+
+// Locate returns the index of the predicate owning addr, or -1 when
+// no predicate does.
+func (t *PredTable) Locate(addr uint32) int {
+	if t == nil {
+		return -1
+	}
+	i := sort.Search(len(t.preds), func(i int) bool { return t.preds[i].Start > addr })
+	return i - 1
+}
+
+// Name returns the display name for a Locate result; -1 (and a nil
+// table) yield SystemName.
+func (t *PredTable) Name(i int) string {
+	if t == nil || i < 0 || i >= len(t.preds) {
+		return SystemName
+	}
+	return t.preds[i].Name
+}
+
+// PredBinder is implemented by hooks that resolve addresses to
+// predicates; the machine binds its image's table at construction.
+type PredBinder interface {
+	BindPreds(*PredTable)
+}

@@ -23,11 +23,43 @@ go build ./...
 echo '== go test -race'
 go test -race ./...
 
-echo '== engine pool race test'
-go test -race -run 'TestPoolRace' ./internal/engine/
+echo '== engine pool race tests (plain and traced/profiled)'
+go test -race -run 'TestPoolRace|TestPoolTraceRace' ./internal/engine/
 
 echo '== cycle-count pin (kcmbench counters must not drift)'
 go test -run 'TestCyclePin' ./internal/bench/
+
+echo '== coverage floors (scripts/coverage_floors.txt)'
+covprofile=$(mktemp)
+trap 'rm -f "$covprofile"' EXIT
+covpkgs=$(grep -v '^#' scripts/coverage_floors.txt | awk 'NF {printf "%s%s", sep, "./" substr($1, index($1, "/") + 1); sep=","}')
+go test -count=1 "-coverpkg=$covpkgs" "-coverprofile=$covprofile" ./... > /dev/null
+# The profile concatenates one block list per test binary; a block is
+# covered if any binary hit it, so dedupe by block key before summing.
+awk 'NR > 1 {
+    key = $1; stmts[key] = $2
+    if ($3 > 0) hit[key] = 1
+}
+END {
+    for (k in stmts) {
+        pkg = k
+        sub(/:.*/, "", pkg)
+        sub(/\/[^\/]*\.go$/, "", pkg)
+        tot[pkg] += stmts[k]
+        if (hit[k]) cov[pkg] += stmts[k]
+    }
+    while ((getline line < "scripts/coverage_floors.txt") > 0) {
+        if (line ~ /^#/ || line !~ /[^ ]/) continue
+        split(line, f, " ")
+        pct = (tot[f[1]] > 0) ? 100 * cov[f[1]] / tot[f[1]] : 0
+        printf "%-28s %5.1f%% (floor %s%%)\n", f[1], pct, f[2]
+        if (pct < f[2] + 0) {
+            print "FAIL: " f[1] " coverage " pct "% below floor " f[2] "%" > "/dev/stderr"
+            bad = 1
+        }
+    }
+    exit bad
+}' "$covprofile"
 
 echo '== kcmvet'
 go run ./cmd/kcmvet -bench examples/*/main.go
