@@ -43,6 +43,10 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the query after this wall-clock duration (0 = none)")
 		budget    = flag.Uint64("budget", 0, "abort after this many simulated instructions (0 = default bound)")
 		nsols     = flag.Int("n", 1, "enumerate up to k solutions (0 = all)")
+		heap      = flag.Uint64("heap", 0, "global stack (heap) size in words (0 = default)")
+		gc        = flag.Bool("gc", true, "collect the heap on overflow instead of failing the query")
+		gcmark    = flag.Uint64("gcwatermark", 0, "free words a collection must leave to retry (0 = heap/16)")
+		gcthresh  = flag.Uint64("gcthreshold", 0, "also collect at call boundaries once the heap tops this many words (0 = overflow-only)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -67,6 +71,14 @@ func main() {
 	if !*shallow {
 		cfg.Shallow = machine.Off
 	}
+	if *heap > 0 {
+		cfg.GlobalBase, cfg.GlobalSize = machine.DefGlobalBase, uint32(*heap)
+	}
+	if !*gc {
+		cfg.GCOnOverflow = machine.Off
+	}
+	cfg.HeapWatermarkWords = uint32(*gcmark)
+	cfg.GCThresholdWords = uint32(*gcthresh)
 	if *traceText {
 		cfg.Trace = os.Stderr
 	}
@@ -215,6 +227,10 @@ func printStats(sol *core.Solution, stats, cache bool, pr *trace.Profiler) {
 		fmt.Printf("neck updates      %12d\n", s.NeckUpdates)
 		fmt.Printf("determinate necks %12d\n", s.NeckDet)
 		fmt.Printf("environments      %12d\n", s.EnvAllocs)
+	}
+	if g := sol.Result.GC; g.Collections > 0 {
+		fmt.Printf("gc: %d collections, %d words freed, %d live, %d trail entries dropped, %d cycles\n",
+			g.Collections, g.FreedWords, g.LiveWords, g.TrailDrops, g.Cycles)
 	}
 	if pr != nil {
 		fmt.Println()

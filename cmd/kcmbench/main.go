@@ -19,6 +19,7 @@
 //
 //	kcmbench -predprofile queens            # one program's warm-run profile
 //	kcmbench -predprofile all               # the whole suite
+//	kcmbench -predprofile nrev1 -heap 256   # ... in a tiny heap (GC shows up as <gc>)
 package main
 
 import (
@@ -39,26 +40,34 @@ import (
 // simulated cycles go. The profiler self-clears on the counter reset
 // between the runs, so the tables cover exactly the timed (warm) run
 // and their total equals the reported cycle count.
-func predProfile(name string) error {
+func predProfile(name string, heapWords uint32) error {
 	p, ok := bench.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown program %q", name)
 	}
 	pr := trace.NewProfiler()
-	r, err := bench.RunKCMWarm(p, false, machine.Config{Hook: pr})
+	cfg := machine.Config{Hook: pr}
+	if heapWords > 0 {
+		cfg.GlobalBase, cfg.GlobalSize = machine.DefGlobalBase, heapWords
+	}
+	r, err := bench.RunKCMWarm(p, false, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Predicate cycle profile of %s (warm run: %d cycles, %.3f ms)\n",
 		name, r.Stats.Cycles, r.Millis())
+	if g := r.Result.GC; g.Collections > 0 {
+		fmt.Printf("gc: %d collections, %d words freed, %d cycles\n",
+			g.Collections, g.FreedWords, g.Cycles)
+	}
 	trace.RenderProfile(os.Stdout, pr.Rows(), pr.Total())
 	fmt.Println()
 	return nil
 }
 
-func predProfileAll() error {
+func predProfileAll(heapWords uint32) error {
 	for _, p := range bench.Suite {
-		if err := predProfile(p.Name); err != nil {
+		if err := predProfile(p.Name, heapWords); err != nil {
 			return err
 		}
 	}
@@ -69,7 +78,7 @@ func predProfileAll() error {
 // steady state the predecode work targets) with the per-opcode
 // host-time monitor on, and prints where the interpreter's wall-clock
 // time goes.
-func hostProfile(name string) error {
+func hostProfile(name string, heapWords uint32) error {
 	p, ok := bench.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown program %q", name)
@@ -78,7 +87,11 @@ func hostProfile(name string) error {
 	if err != nil {
 		return err
 	}
-	m, err := machine.New(im, machine.Config{HostProfile: true})
+	cfg := machine.Config{HostProfile: true}
+	if heapWords > 0 {
+		cfg.GlobalBase, cfg.GlobalSize = machine.DefGlobalBase, heapWords
+	}
+	m, err := machine.New(im, cfg)
 	if err != nil {
 		return err
 	}
@@ -103,6 +116,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile of the simulator to `file`")
 	hostprofile := flag.String("hostprofile", "", "print the per-opcode host-time profile of one benchmark `program` and exit")
 	predprofile := flag.String("predprofile", "", "print the per-predicate simulated-cycle profile of one benchmark `program` (or \"all\") and exit")
+	heap := flag.Uint64("heap", 0, "global stack (heap) size in `words` for -predprofile/-hostprofile runs (0 = default)")
 	flag.Parse()
 
 	fail := func(name string, err error) {
@@ -135,7 +149,7 @@ func main() {
 	}
 
 	if *hostprofile != "" {
-		if err := hostProfile(*hostprofile); err != nil {
+		if err := hostProfile(*hostprofile, uint32(*heap)); err != nil {
 			fail("hostprofile", err)
 		}
 		return
@@ -143,9 +157,9 @@ func main() {
 	if *predprofile != "" {
 		var err error
 		if *predprofile == "all" {
-			err = predProfileAll()
+			err = predProfileAll(uint32(*heap))
 		} else {
-			err = predProfile(*predprofile)
+			err = predProfile(*predprofile, uint32(*heap))
 		}
 		if err != nil {
 			fail("predprofile", err)

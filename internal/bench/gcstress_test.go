@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// kindCounter tallies trace events by kind.
+type kindCounter struct{ counts map[trace.Kind]int }
+
+func newKindCounter() *kindCounter         { return &kindCounter{counts: map[trace.Kind]int{}} }
+func (c *kindCounter) Emit(ev trace.Event) { c.counts[ev.Kind]++ }
+
+// TestGCStress runs real benchmarks in heaps far below their no-GC
+// requirements and pins the collector's end-to-end guarantees: the
+// answer (program output and inference count) is exactly that of a
+// roomy-heap run, several collections actually happen, and — with the
+// profiler attached — cycle conservation holds with the collection
+// cost attributed to the <gc> pseudo-predicate. scripts/verify.sh
+// runs this test under -race.
+func TestGCStress(t *testing.T) {
+	nrev, ok := ByName("nrev1")
+	if !ok {
+		t.Fatal("nrev1 missing from suite")
+	}
+	queens, ok := ByName("queens")
+	if !ok {
+		t.Fatal("queens missing from suite")
+	}
+
+	reference := func(p Program) RunResult {
+		r, err := RunKCM(p, false, machine.Config{})
+		if err != nil || !r.Success {
+			t.Fatalf("reference %s: %v", p.Name, err)
+		}
+		return r
+	}
+
+	check := func(t *testing.T, p Program, cfg machine.Config, minColl uint64) RunResult {
+		ref := reference(p)
+		r, err := RunKCM(p, false, cfg)
+		if err != nil || !r.Success {
+			t.Fatalf("%s in small heap: %v success=%v", p.Name, err, r.Success)
+		}
+		if got := r.Result.GC.Collections; got < minColl {
+			t.Fatalf("%s: %d collections, want >= %d", p.Name, got, minColl)
+		}
+		if r.Output != ref.Output {
+			t.Errorf("%s: output %q != reference %q", p.Name, r.Output, ref.Output)
+		}
+		if r.Stats.Inferences != ref.Stats.Inferences {
+			t.Errorf("%s: inferences %d != reference %d",
+				p.Name, r.Stats.Inferences, ref.Stats.Inferences)
+		}
+		return r
+	}
+
+	// nrev makes garbage fast; a quarter-kiloword heap forces several
+	// overflow-triggered collections (no-GC runs need > 0x300 words).
+	t.Run("nrev-overflow", func(t *testing.T) {
+		check(t, nrev, machine.Config{GlobalBase: 0x10000, GlobalSize: 0x100}, 3)
+	})
+
+	// queens reclaims heap by backtracking, so nearly everything is
+	// live at any instant; the threshold trigger exercises collection
+	// at call boundaries under heavy choice-point state instead.
+	t.Run("queens-threshold", func(t *testing.T) {
+		check(t, queens, machine.Config{
+			GlobalBase: 0x10000, GlobalSize: 0x30,
+			GCThresholdWords: 0x20, HeapWatermarkWords: 4,
+		}, 3)
+	})
+
+	// Conservation with the profiler attached: every simulated cycle
+	// is attributed, the collection cost lands in the <gc> bucket, and
+	// the gc_start/gc_end events pair up with the collection count.
+	t.Run("conservation", func(t *testing.T) {
+		pr := trace.NewProfiler()
+		kc := newKindCounter()
+		cfg := machine.Config{
+			GlobalBase: 0x10000, GlobalSize: 0x100,
+			Hook: trace.Tee(pr, kc),
+		}
+		r, err := RunKCM(nrev, false, cfg)
+		if err != nil || !r.Success {
+			t.Fatalf("nrev1 traced: %v", err)
+		}
+		gc := r.Result.GC
+		if gc.Collections < 3 {
+			t.Fatalf("collections %d, want >= 3", gc.Collections)
+		}
+		if got := pr.Total(); got != r.Stats.Cycles {
+			t.Errorf("profiler total %d != machine cycles %d", got, r.Stats.Cycles)
+		}
+		var gcSelf uint64
+		for _, row := range pr.Rows() {
+			if row.Name == trace.GCName {
+				gcSelf = row.Self
+			}
+		}
+		if gcSelf != gc.Cycles {
+			t.Errorf("<gc> bucket %d != GCStats.Cycles %d", gcSelf, gc.Cycles)
+		}
+		if s, e := kc.counts[trace.KGCStart], kc.counts[trace.KGCEnd]; uint64(s) != gc.Collections || uint64(e) != gc.Collections {
+			t.Errorf("gc events start=%d end=%d, want %d each", s, e, gc.Collections)
+		}
+	})
+}

@@ -49,7 +49,8 @@ func TestCyclePinTraced(t *testing.T) {
 		// instructions.
 		var rowsSelf, foldedSum uint64
 		for _, row := range prof.Rows() {
-			if row.Name != trace.BootName && row.Name != trace.RedoName && row.Name != trace.FaultName {
+			if row.Name != trace.BootName && row.Name != trace.RedoName &&
+				row.Name != trace.FaultName && row.Name != trace.GCName {
 				rowsSelf += row.Self
 			}
 		}

@@ -43,6 +43,7 @@ type Pool struct {
 // to the pool size, so release never blocks; built (guarded by
 // Pool.mu) counts machines in existence, capping construction.
 type imagePool struct {
+	im    *asm.Image
 	free  chan *machine.Machine
 	built int
 }
@@ -151,7 +152,7 @@ func (p *Pool) Query(ctx context.Context, im *asm.Image, options ...Option) (*co
 	if err != nil {
 		return nil, err
 	}
-	defer func() { ip.free <- m }()
+	defer p.release(ip, m)
 	// LIFO defers: the profile is harvested before the machine goes
 	// back to the pool, on every exit path (even a faulted query's
 	// partial cycles are attributed somewhere).
@@ -196,7 +197,7 @@ func (p *Pool) Warm(ctx context.Context, im *asm.Image) error {
 			// Warm runs are real simulated work; their cycles join the
 			// pool profile like any query's.
 			p.harvest(m)
-			ip.free <- m
+			p.release(ip, m)
 		}
 	}()
 	for i := 0; i < p.size; i++ {
@@ -216,6 +217,30 @@ func (p *Pool) Warm(ctx context.Context, im *asm.Image) error {
 	return nil
 }
 
+// release returns a machine to the image pool — unless the query left
+// it faulted. A fault can strike mid-instruction, leaving zone
+// registers, shadow state and the trail mid-update; such a machine
+// must not be handed to a later query on the strength of the next
+// Reset alone. The discarded machine is replaced with a freshly built
+// one immediately: a waiter may already be blocked on free with built
+// at the cap, and decrementing built alone would strand it. Only if
+// the replacement cannot be built (the config stopped being viable)
+// does the slot close, mirroring acquire's build-error accounting.
+func (p *Pool) release(ip *imagePool, m *machine.Machine) {
+	if m.Err() == nil {
+		ip.free <- m
+		return
+	}
+	fresh, err := machine.New(ip.im, p.cfg)
+	if err != nil {
+		p.mu.Lock()
+		ip.built--
+		p.mu.Unlock()
+		return
+	}
+	ip.free <- fresh
+}
+
 // acquire returns a machine for im: a free pooled one if available, a
 // newly built one while under the cap, else it blocks until a machine
 // is released or ctx is cancelled.
@@ -223,7 +248,7 @@ func (p *Pool) acquire(ctx context.Context, im *asm.Image) (*machine.Machine, *i
 	p.mu.Lock()
 	ip := p.images[im]
 	if ip == nil {
-		ip = &imagePool{free: make(chan *machine.Machine, p.size)}
+		ip = &imagePool{im: im, free: make(chan *machine.Machine, p.size)}
 		p.images[im] = ip
 	}
 	select {

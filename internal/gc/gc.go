@@ -1,0 +1,403 @@
+// Package gc implements heap garbage collection for the KCM global
+// stack: a pointer-reversal (link-migration) mark phase that uses the
+// data word's two GC bits, a sliding compaction that preserves cell
+// order, and trail compression that drops entries whose cells were
+// collected.
+//
+// The paper's word format reserves bits 57..56 for exactly this
+// (figure 2), and the zone-check unit is designed to trigger a
+// collection when a stack crosses a soft limit (section 3.2.3); on
+// the real machine the collector runs as privileged macrocode over
+// the same tagged words modelled here.
+//
+// Sliding (rather than copying) collection matters for a WAM heap:
+// cell order is age order, so the H watermarks saved in choice points
+// and the HB register stay meaningful after forwarding — a cell is
+// "older than the choice point" before collection iff it still is
+// after.
+//
+// The mark phase is in-place Schorr-Waite: descending into a block
+// overwrites one cell with a link word that remembers the parent
+// slot, the tag of the pointer the block was entered through, and the
+// distance to the block's lowest scannable cell; finishing a cell
+// restores its contents (marked) and migrates the link down the
+// block. Host memory use is O(1) per root regardless of term depth.
+//
+// Preconditions, guaranteed by the machine:
+//
+//   - every heap cell in [HeapBase, H) has both GC bits clear on
+//     entry (the machine only ever writes words with clear GC bits,
+//     and collection itself clears them while sliding);
+//   - HeapBase > 0, so parent-slot address 0 can serve as the root
+//     sentinel in link words;
+//   - heap addresses fit in 28 bits (the architectural limit), so a
+//     link word can pack the parent slot and an 8-bit remaining-cell
+//     count into its value and zone fields.
+package gc
+
+import "repro/internal/word"
+
+// Store is the memory the collector operates on. Reads and writes are
+// untimed and cache-coherent (the machine charges collection cost in
+// bulk); a Read of an unmapped address returns an invalid word.
+type Store interface {
+	Read(z word.Zone, a uint32) word.Word
+	Write(z word.Zone, a uint32, w word.Word)
+}
+
+// Layout carries the machine's frame geometry: word offsets inside
+// environment and choice-point frames. The collector walks frames but
+// never defines them.
+type Layout struct {
+	EnvLink   uint32 // offset of the continuation-environment pointer
+	EnvSize   uint32 // offset of the permanent-variable count
+	EnvHeader uint32 // words before the first permanent variable
+	CPPrev    uint32 // offset of the previous-choice-point pointer
+	CPE       uint32 // offset of the saved environment
+	CPH       uint32 // offset of the saved heap top
+	CPTR      uint32 // offset of the saved trail top
+	CPArity   uint32 // offset of the saved-register count
+	CPHeader  uint32 // words before the first saved register
+}
+
+// Roots is the machine state a collection reads and rewrites. Regs is
+// updated in place; the pointer fields are both inputs and outputs.
+type Roots struct {
+	Regs []word.Word
+
+	E uint32 // current environment (0 = none)
+	B uint32 // top choice point (0 = none)
+
+	H        *uint32 // heap top; lowered by compaction
+	HB       *uint32 // heap backtrack point
+	ShadowH  *uint32 // shallow-mode H snapshot
+	S        *uint32 // structure pointer (may be mid-heap during a retry)
+	TR       *uint32 // trail top; lowered by compression
+	ShadowTR *uint32 // shallow-mode TR snapshot
+
+	HeapBase  uint32
+	TrailBase uint32
+}
+
+// Stats reports one collection's outcome in words.
+type Stats struct {
+	Live         uint32 // heap words that survived
+	Freed        uint32 // heap words reclaimed
+	TrailKept    uint32 // trail entries that survived
+	TrailDropped uint32 // trail entries dropped (their cells died)
+}
+
+// Collect runs one full collection: mark from the root set, compress
+// the trail, relocate every root and frame pointer, slide the live
+// heap cells down. On return all GC bits in the live heap are clear.
+func Collect(st Store, r *Roots, lay Layout) Stats {
+	base, top := r.HeapBase, *r.H
+	if top <= base {
+		return Stats{}
+	}
+	c := &collector{st: st, lay: lay, base: base, top: top}
+
+	// ---- mark ----
+	//
+	// The root set is the register file, the current environment
+	// chain, and each choice point's saved registers and environment
+	// chain. The trail is deliberately NOT a root: an entry whose cell
+	// is unreachable from every choice point's restorable state resets
+	// a cell no future execution can observe, and compaction is about
+	// to reuse that cell's address — such entries are dropped below,
+	// which is required for correctness, not just for space.
+	for _, w := range r.Regs {
+		c.markFrom(w)
+	}
+	c.forEachFrame(r,
+		func(e uint32) {
+			size := st.Read(word.ZLocal, e+lay.EnvSize).Value()
+			for i := uint32(0); i < size; i++ {
+				c.markFrom(st.Read(word.ZLocal, e+lay.EnvHeader+i))
+			}
+		},
+		func(b uint32) {
+			arity := st.Read(word.ZChoice, b+lay.CPArity).Value()
+			for i := uint32(0); i < arity; i++ {
+				c.markFrom(st.Read(word.ZChoice, b+lay.CPHeader+i))
+			}
+		})
+
+	// ---- forwarding table ----
+	//
+	// Sliding: the new address of heap word i is base plus the number
+	// of live words below it. The table is inclusive of the heap top
+	// itself because the machine legitimately holds pointers AT H (a
+	// put_list/get_list publishes list pointers before pushing the
+	// cells) and S may equal H after reading a block's last argument.
+	used := top - base
+	forward := make([]uint32, used+1)
+	live := uint32(0)
+	for i := uint32(0); i < used; i++ {
+		forward[i] = base + live
+		if c.heap(base + i).Marked() {
+			live++
+		}
+	}
+	forward[used] = base + live
+
+	fwdAddr := func(a uint32) uint32 {
+		if a < base || a > top {
+			return a
+		}
+		return forward[a-base]
+	}
+	fwdWord := func(w word.Word) word.Word {
+		switch w.Type() {
+		case word.TRef, word.TDataPtr:
+			if w.Zone() == word.ZGlobal {
+				return w.WithValue(fwdAddr(w.Value()))
+			}
+		case word.TList, word.TStruct:
+			return w.WithValue(fwdAddr(w.Value()))
+		}
+		return w
+	}
+
+	// ---- trail compression ----
+	//
+	// Entries for collected heap cells are dropped; survivors are
+	// relocated and compacted in place. Every saved TR (choice-point
+	// snapshots and the shallow shadow) is then lowered by the number
+	// of drops below it, so backtracking unwinds exactly the entries
+	// that still exist.
+	oldTR := *r.TR
+	stats := Stats{}
+	dropsBelow := make([]uint32, oldTR-r.TrailBase+1)
+	out := r.TrailBase
+	for t := r.TrailBase; t < oldTR; t++ {
+		dropsBelow[t-r.TrailBase] = t - out
+		w := st.Read(word.ZTrail, t)
+		if w.Zone() == word.ZGlobal {
+			if a := w.Addr(); a >= base && a < top && !c.heap(a).Marked() {
+				continue // the trailed cell died; its reset is unobservable
+			}
+		}
+		st.Write(word.ZTrail, out, fwdWord(w))
+		out++
+	}
+	dropsBelow[oldTR-r.TrailBase] = oldTR - out
+	stats.TrailKept = out - r.TrailBase
+	stats.TrailDropped = oldTR - out
+	*r.TR = out
+	adjTR := func(t uint32) uint32 {
+		if t < r.TrailBase || t > oldTR {
+			return t
+		}
+		return t - dropsBelow[t-r.TrailBase]
+	}
+	*r.ShadowTR = adjTR(*r.ShadowTR)
+
+	// ---- relocate roots and frames ----
+	for i, w := range r.Regs {
+		r.Regs[i] = fwdWord(w)
+	}
+	c.forEachFrame(r,
+		func(e uint32) {
+			size := st.Read(word.ZLocal, e+lay.EnvSize).Value()
+			for i := uint32(0); i < size; i++ {
+				a := e + lay.EnvHeader + i
+				st.Write(word.ZLocal, a, fwdWord(st.Read(word.ZLocal, a)))
+			}
+		},
+		func(b uint32) {
+			arity := st.Read(word.ZChoice, b+lay.CPArity).Value()
+			for i := uint32(0); i < arity; i++ {
+				a := b + lay.CPHeader + i
+				st.Write(word.ZChoice, a, fwdWord(st.Read(word.ZChoice, a)))
+			}
+			hw := st.Read(word.ZChoice, b+lay.CPH)
+			st.Write(word.ZChoice, b+lay.CPH, hw.WithValue(fwdAddr(hw.Value())))
+			tw := st.Read(word.ZChoice, b+lay.CPTR)
+			st.Write(word.ZChoice, b+lay.CPTR, tw.WithValue(adjTR(tw.Value())))
+		})
+	*r.HB = fwdAddr(*r.HB)
+	*r.ShadowH = fwdAddr(*r.ShadowH)
+	*r.S = fwdAddr(*r.S)
+
+	// ---- slide ----
+	//
+	// Live cells move down in address order (forward[i] <= base+i, so
+	// in-place is safe), contents relocated and GC bits cleared,
+	// restoring the all-clear invariant for the next collection.
+	for i := uint32(0); i < used; i++ {
+		w := c.heap(base + i)
+		if !w.Marked() {
+			continue
+		}
+		c.setHeap(forward[i], fwdWord(w).WithGC(0))
+	}
+	*r.H = forward[used]
+	stats.Live = live
+	stats.Freed = used - live
+	return stats
+}
+
+// collector is the state shared by the mark phase helpers.
+type collector struct {
+	st        Store
+	lay       Layout
+	base, top uint32
+	frameSeen map[uint32]bool
+}
+
+func (c *collector) heap(a uint32) word.Word       { return c.st.Read(word.ZGlobal, a) }
+func (c *collector) setHeap(a uint32, w word.Word) { c.st.Write(word.ZGlobal, a, w) }
+
+// forEachFrame visits every environment frame (deduplicated — frames
+// are shared between the current chain and the chains hanging off
+// choice points, and the relocation pass must rewrite each exactly
+// once) and every choice-point frame.
+func (c *collector) forEachFrame(r *Roots, env func(e uint32), cp func(b uint32)) {
+	c.frameSeen = make(map[uint32]bool)
+	walkEnv := func(e uint32) {
+		for e != 0 && !c.frameSeen[e] {
+			c.frameSeen[e] = true
+			env(e)
+			e = c.st.Read(word.ZLocal, e+c.lay.EnvLink).Value()
+		}
+	}
+	walkEnv(r.E)
+	for b := r.B; b != 0; b = c.st.Read(word.ZChoice, b+c.lay.CPPrev).Value() {
+		cp(b)
+		walkEnv(c.st.Read(word.ZChoice, b+c.lay.CPE).Value())
+	}
+}
+
+// Link words. While the mark phase is descending through a block, one
+// of its cells holds a link instead of its contents: the type field
+// carries the tag of the pointer the block was entered through (never
+// TFunc — only TRef, TList, TStruct and TDataPtr enter blocks), the
+// low 28 value bits carry the parent slot address (0 = root), and the
+// remaining-cell count (pos - blockLow, at most 254 for a max-arity
+// structure) is split between the zone field (low 4 bits) and value
+// bits 31..28. Links carry GCMark|GCLink.
+const linkParentMask = 0x0FFFFFFF
+
+func makeLink(tag word.Type, parent, rem uint32) word.Word {
+	v := (parent & linkParentMask) | (rem>>4)<<28
+	return word.Make(tag, word.Zone(rem&0xF), v).WithGC(word.GCMark | word.GCLink)
+}
+
+func linkParts(w word.Word) (tag word.Type, parent, rem uint32) {
+	return w.Type(), w.Value() & linkParentMask, uint32(w.Zone()) | (w.Value()>>28)<<4
+}
+
+// block describes the heap cells a pointer word denotes: start is the
+// first cell, low the first *scannable* cell (a structure's functor
+// is marked on entry but never descended into), end one past the
+// last. A block extending past the heap top is clamped, not skipped:
+// the overflow-retry path depends on the written prefix of a
+// half-built structure surviving in order at the top of the live
+// region.
+type block struct {
+	start, low, end uint32
+}
+
+// blockOf classifies w. ok is false for non-pointers, pointers
+// outside [base, top), and structure pointers whose first cell is not
+// a functor word (stale junk — including a cell that currently holds
+// a reversal link: links never carry the TFunc tag, and a cell can
+// only hold a link while its true contents are a pointer being
+// descended through, which likewise proves the struct pointer stale).
+func (c *collector) blockOf(w word.Word) (block, bool) {
+	a := w.Value()
+	switch w.Type() {
+	case word.TRef, word.TDataPtr:
+		if w.Zone() != word.ZGlobal || a < c.base || a >= c.top {
+			return block{}, false
+		}
+		return block{start: a, low: a, end: a + 1}, true
+	case word.TList:
+		if a < c.base || a >= c.top {
+			return block{}, false
+		}
+		end := a + 2
+		if end > c.top {
+			end = c.top
+		}
+		return block{start: a, low: a, end: end}, true
+	case word.TStruct:
+		if a < c.base || a >= c.top {
+			return block{}, false
+		}
+		f := c.heap(a)
+		if f.Type() != word.TFunc {
+			return block{}, false
+		}
+		end := a + 1 + uint32(f.FunctorArity())
+		if end > c.top {
+			end = c.top
+		}
+		return block{start: a, low: a + 1, end: end}, true
+	}
+	return block{}, false
+}
+
+// highestUnmarked returns the highest unmarked cell in [low, end).
+func (c *collector) highestUnmarked(low, end uint32) (uint32, bool) {
+	for a := end; a > low; a-- {
+		if !c.heap(a - 1).Marked() {
+			return a - 1, true
+		}
+	}
+	return 0, false
+}
+
+// markFrom marks everything reachable from root, transitively, using
+// link-migration pointer reversal. A cell is marked exactly when its
+// contents have been examined (or, for a structure's functor, on
+// block entry — functors are not pointers), so skipping marked cells
+// never loses reachable data; cyclic terms terminate because every
+// descent marks a previously unmarked cell.
+func (c *collector) markFrom(root word.Word) {
+	const rootParent = 0 // HeapBase > 0, so no real slot is 0
+	cur := root
+	pos := uint32(rootParent)
+	for {
+		// Try to descend through cur into its block.
+		if blk, ok := c.blockOf(cur); ok {
+			if cur.Type() == word.TStruct {
+				if f := c.heap(blk.start); !f.Marked() {
+					c.setHeap(blk.start, f.WithGC(word.GCMark))
+				}
+			}
+			if hp, found := c.highestUnmarked(blk.low, blk.end); found {
+				orig := c.heap(hp)
+				c.setHeap(hp, makeLink(cur.Type(), pos, hp-blk.low))
+				cur, pos = orig, hp
+				continue
+			}
+		}
+		// cur is finished. At the root, the whole traversal is done;
+		// otherwise restore the parent slot and migrate the link to
+		// the next unmarked cell of its block, or exit the block.
+		if pos == rootParent {
+			return
+		}
+		tag, parent, rem := linkParts(c.heap(pos))
+		blockLow := pos - rem
+		c.setHeap(pos, cur.WithGC(word.GCMark))
+		if np, found := c.highestUnmarked(blockLow, pos); found {
+			orig := c.heap(np)
+			c.setHeap(np, makeLink(tag, parent, np-blockLow))
+			cur, pos = orig, np
+			continue
+		}
+		// Block fully marked: rebuild the pointer it was entered
+		// through (its type, zone and address determine it completely)
+		// and resume in the parent. The rebuilt pointer finds no
+		// unmarked cell, so the loop falls through to finishing the
+		// parent's slot.
+		blockStart := blockLow
+		if tag == word.TStruct {
+			blockStart = blockLow - 1
+		}
+		cur, pos = word.Make(tag, word.ZGlobal, blockStart), parent
+	}
+}

@@ -1,0 +1,409 @@
+package gc
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+// fakeStore is a map-backed Store for white-box collector tests.
+type fakeStore struct {
+	mem map[[2]uint32]word.Word
+}
+
+func newFake() *fakeStore { return &fakeStore{mem: make(map[[2]uint32]word.Word)} }
+
+func (s *fakeStore) Read(z word.Zone, a uint32) word.Word {
+	return s.mem[[2]uint32{uint32(z), a}]
+}
+func (s *fakeStore) Write(z word.Zone, a uint32, w word.Word) {
+	s.mem[[2]uint32{uint32(z), a}] = w
+}
+
+const heapBase = 0x100
+const trailBase = 0x800
+
+// layout mirrors the machine's frame geometry (envHeader=3, 9-word
+// choice points) without importing it.
+var lay = Layout{
+	EnvLink: 0, EnvSize: 2, EnvHeader: 3,
+	CPPrev: 0, CPE: 2, CPH: 4, CPTR: 5, CPArity: 8, CPHeader: 9,
+}
+
+// harness builds Roots over a fake store with the given heap size.
+type harness struct {
+	st                *fakeStore
+	h, hb, shadowH, s uint32
+	tr, shadowTR      uint32
+	regs              []word.Word
+	e, b              uint32
+}
+
+func newHarness(nregs int) *harness {
+	return &harness{
+		st: newFake(), h: heapBase, hb: heapBase, shadowH: heapBase,
+		tr: trailBase, shadowTR: trailBase,
+		regs: make([]word.Word, nregs),
+	}
+}
+
+func (h *harness) push(w word.Word) uint32 {
+	a := h.h
+	h.st.Write(word.ZGlobal, a, w)
+	h.h++
+	return a
+}
+
+func (h *harness) roots() *Roots {
+	return &Roots{
+		Regs: h.regs, E: h.e, B: h.b,
+		H: &h.h, HB: &h.hb, ShadowH: &h.shadowH, S: &h.s,
+		TR: &h.tr, ShadowTR: &h.shadowTR,
+		HeapBase: heapBase, TrailBase: trailBase,
+	}
+}
+
+func (h *harness) collect(t *testing.T) Stats {
+	t.Helper()
+	st := Collect(h.st, h.roots(), lay)
+	// Post-invariant: every live cell has clear GC bits.
+	for a := uint32(heapBase); a < h.h; a++ {
+		if g := h.st.Read(word.ZGlobal, a).GC(); g != 0 {
+			t.Fatalf("cell %#x left with GC bits %02b", a, g)
+		}
+	}
+	return st
+}
+
+func ref(a uint32) word.Word  { return word.Make(word.TRef, word.ZGlobal, a) }
+func list(a uint32) word.Word { return word.Make(word.TList, word.ZGlobal, a) }
+func strp(a uint32) word.Word { return word.Make(word.TStruct, word.ZGlobal, a) }
+func atom(v uint32) word.Word { return word.Make(word.TAtom, word.ZNone, v) }
+func fn(arity uint32) word.Word {
+	return word.Make(word.TFunc, word.ZNone, 7<<8|arity)
+}
+
+// TestCollectList: garbage below and between the cells of a live list
+// is reclaimed, the list slides down intact, and the register is
+// forwarded.
+func TestCollectList(t *testing.T) {
+	h := newHarness(2)
+	h.push(atom(99))       // garbage
+	car := h.push(atom(1)) // [1|[]] cons
+	h.push(word.Nil())
+	h.push(atom(98)) // garbage
+	h.regs[0] = list(car)
+
+	st := h.collect(t)
+	if st.Live != 2 || st.Freed != 2 {
+		t.Fatalf("live=%d freed=%d, want 2/2", st.Live, st.Freed)
+	}
+	if h.h != heapBase+2 {
+		t.Fatalf("H = %#x, want %#x", h.h, heapBase+2)
+	}
+	if h.regs[0] != list(heapBase) {
+		t.Fatalf("reg not forwarded: %v", h.regs[0])
+	}
+	if got := h.st.Read(word.ZGlobal, heapBase); got != atom(1) {
+		t.Fatalf("car = %v", got)
+	}
+	if got := h.st.Read(word.ZGlobal, heapBase+1); got != word.Nil() {
+		t.Fatalf("cdr = %v", got)
+	}
+}
+
+// TestCollectStruct: a structure keeps its functor and args; the args
+// can reference other live blocks that also move.
+func TestCollectStruct(t *testing.T) {
+	h := newHarness(1)
+	h.push(atom(0)) // garbage
+	inner := h.push(atom(5))
+	h.push(word.Nil())
+	h.push(atom(0)) // garbage
+	f := h.push(fn(2))
+	h.push(list(inner))
+	h.push(word.FromInt(42))
+	h.regs[0] = strp(f)
+
+	h.collect(t)
+	// Layout after sliding: cons at base, struct at base+2.
+	if h.regs[0] != strp(heapBase+2) {
+		t.Fatalf("struct reg = %v", h.regs[0])
+	}
+	if got := h.st.Read(word.ZGlobal, heapBase+3); got != list(heapBase) {
+		t.Fatalf("arg1 = %v, want list->%#x", got, heapBase)
+	}
+	if got := h.st.Read(word.ZGlobal, heapBase+4); got != word.FromInt(42) {
+		t.Fatalf("arg2 = %v", got)
+	}
+}
+
+// TestCollectSharedSubstructure: two roots reaching the same cell must
+// agree after forwarding (each slot rewritten exactly once).
+func TestCollectSharedSubstructure(t *testing.T) {
+	h := newHarness(3)
+	h.push(atom(0)) // garbage
+	shared := h.push(atom(7))
+	h.push(word.Nil())
+	a := h.push(list(shared))
+	h.push(word.Nil())
+	h.regs[0] = list(a)
+	h.regs[1] = list(shared)
+	h.regs[2] = ref(shared)
+
+	h.collect(t)
+	want := heapBase // shared cons slid down one slot
+	if h.regs[1] != list(uint32(want)) {
+		t.Fatalf("reg1 = %v", h.regs[1])
+	}
+	if h.regs[2] != ref(uint32(want)) {
+		t.Fatalf("reg2 = %v", h.regs[2])
+	}
+	outer := h.regs[0].Value()
+	if got := h.st.Read(word.ZGlobal, outer); got != list(uint32(want)) {
+		t.Fatalf("outer car = %v", got)
+	}
+}
+
+// TestCollectCycle: a cyclic term (X = [a|X]) must terminate and
+// survive with the cycle intact.
+func TestCollectCycle(t *testing.T) {
+	h := newHarness(1)
+	h.push(atom(0)) // garbage
+	car := h.push(atom(1))
+	h.push(list(car)) // cdr points back at the cons itself
+	h.regs[0] = list(car)
+
+	st := h.collect(t)
+	if st.Live != 2 {
+		t.Fatalf("live = %d, want 2", st.Live)
+	}
+	at := h.regs[0].Value()
+	if got := h.st.Read(word.ZGlobal, at+1); got != list(at) {
+		t.Fatalf("cycle broken: cdr = %v, want list->%#x", got, at)
+	}
+}
+
+// TestCollectSelfRef: an unbound variable (self-reference) moves and
+// still references itself.
+func TestCollectSelfRef(t *testing.T) {
+	h := newHarness(1)
+	h.push(atom(0)) // garbage
+	v := h.push(word.Word(0))
+	h.st.Write(word.ZGlobal, v, ref(v))
+	h.regs[0] = ref(v)
+
+	h.collect(t)
+	at := h.regs[0].Value()
+	if at != heapBase {
+		t.Fatalf("var at %#x, want %#x", at, heapBase)
+	}
+	if got := h.st.Read(word.ZGlobal, at); got != ref(at) {
+		t.Fatalf("self-ref broken: %v", got)
+	}
+}
+
+// TestCollectStalePrefixOverlap: a stale register marking a prefix of
+// a live structure's block must not stop the structure's remaining
+// cells from being traced (the seed collector's known overlap case).
+func TestCollectStalePrefixOverlap(t *testing.T) {
+	h := newHarness(2)
+	inner := h.push(atom(3))
+	h.push(word.Nil())
+	f := h.push(fn(2))
+	arg1 := h.push(atom(1))
+	h.push(list(inner))
+	// Stale register: a ref to the first arg cell, examined before
+	// the struct pointer.
+	h.regs[0] = ref(arg1)
+	h.regs[1] = strp(f)
+
+	st := h.collect(t)
+	if st.Live != 5 {
+		t.Fatalf("live = %d, want 5 (everything)", st.Live)
+	}
+	sp := h.regs[1].Value()
+	if got := h.st.Read(word.ZGlobal, sp+2); got != list(heapBase) {
+		t.Fatalf("second arg lost: %v", got)
+	}
+}
+
+// TestCollectPartialTopBlock: a pointer to a half-built block at the
+// heap top (mid-instruction overflow state) keeps the written prefix,
+// clamped at H, in order at the top of the live region.
+func TestCollectPartialTopBlock(t *testing.T) {
+	h := newHarness(2)
+	h.push(atom(0)) // garbage
+	f := h.push(fn(3))
+	h.push(atom(1)) // only arg written so far; args 2..3 not pushed yet
+	h.regs[0] = strp(f)
+	// And a list pointer AT the heap top: published before any cell
+	// was pushed (put_list semantics).
+	h.regs[1] = list(h.h)
+
+	st := h.collect(t)
+	if st.Live != 2 {
+		t.Fatalf("live = %d, want 2 (functor + first arg)", st.Live)
+	}
+	sp := h.regs[0].Value()
+	if sp != heapBase {
+		t.Fatalf("struct at %#x", sp)
+	}
+	if got := h.st.Read(word.ZGlobal, sp); got != fn(3) {
+		t.Fatalf("functor = %v", got)
+	}
+	if got := h.st.Read(word.ZGlobal, sp+1); got != atom(1) {
+		t.Fatalf("arg1 = %v", got)
+	}
+	// The pointer at the old top forwards to the new top, so a
+	// retried instruction keeps building contiguously.
+	if h.regs[1] != list(h.h) {
+		t.Fatalf("top pointer = %v, want list->%#x", h.regs[1], h.h)
+	}
+}
+
+// TestCollectStaleStructPointer: a struct pointer whose target is not
+// a functor word is stale junk and must be ignored, not traced.
+func TestCollectStaleStructPointer(t *testing.T) {
+	h := newHarness(2)
+	c := h.push(atom(1))
+	h.push(word.Nil())
+	h.regs[0] = strp(c) // stale: points at an atom, not a functor
+	h.regs[1] = list(c)
+
+	st := h.collect(t)
+	if st.Live != 2 {
+		t.Fatalf("live = %d, want 2", st.Live)
+	}
+}
+
+// TestTrailCompression: entries whose cells died are dropped, saved
+// TR snapshots are adjusted by the drops below them, and surviving
+// entries are relocated.
+func TestTrailCompression(t *testing.T) {
+	h := newHarness(1)
+	dead := h.push(atom(1)) // dies
+	h.push(word.Nil())
+	live := h.push(atom(2))
+	h.push(word.Nil())
+	h.regs[0] = list(live)
+
+	const localSlot = 0x500
+	h.st.Write(word.ZTrail, trailBase+0, ref(dead))
+	h.st.Write(word.ZTrail, trailBase+1, word.Make(word.TRef, word.ZLocal, localSlot))
+	h.st.Write(word.ZTrail, trailBase+2, ref(live))
+	h.tr = trailBase + 3
+	h.shadowTR = trailBase + 2 // above one future drop
+
+	// A choice point whose saved TR sits above the dropped entry.
+	const b = 0x600
+	h.st.Write(word.ZChoice, b+lay.CPPrev, word.Word(0))
+	h.st.Write(word.ZChoice, b+lay.CPE, word.Word(0))
+	h.st.Write(word.ZChoice, b+lay.CPH, word.Make(word.TDataPtr, word.ZGlobal, live))
+	h.st.Write(word.ZChoice, b+lay.CPTR, word.Make(word.TTrailPtr, word.ZTrail, trailBase+2))
+	h.st.Write(word.ZChoice, b+lay.CPArity, word.Make(word.TImm, word.ZNone, 0))
+	h.b = b
+
+	st := h.collect(t)
+	if st.TrailDropped != 1 || st.TrailKept != 2 {
+		t.Fatalf("dropped=%d kept=%d, want 1/2", st.TrailDropped, st.TrailKept)
+	}
+	if h.tr != trailBase+2 {
+		t.Fatalf("TR = %#x", h.tr)
+	}
+	// Local entry untouched in content, slid down to slot 0.
+	if got := h.st.Read(word.ZTrail, trailBase); got.Zone() != word.ZLocal || got.Value() != localSlot {
+		t.Fatalf("local entry = %v", got)
+	}
+	// Live global entry relocated to the cons's new address.
+	newLive := h.regs[0].Value()
+	if got := h.st.Read(word.ZTrail, trailBase+1); got != ref(newLive) {
+		t.Fatalf("live entry = %v, want ref->%#x", got, newLive)
+	}
+	if h.shadowTR != trailBase+1 {
+		t.Fatalf("shadowTR = %#x, want %#x", h.shadowTR, trailBase+1)
+	}
+	cptr := h.st.Read(word.ZChoice, b+lay.CPTR)
+	if cptr.Value() != trailBase+1 {
+		t.Fatalf("cpTR = %#x, want %#x", cptr.Value(), trailBase+1)
+	}
+	cph := h.st.Read(word.ZChoice, b+lay.CPH)
+	if cph.Value() != newLive {
+		t.Fatalf("cpH = %#x, want %#x", cph.Value(), newLive)
+	}
+}
+
+// TestCollectEnvChainShared: an environment frame reachable both from
+// E and from a choice point is rewritten exactly once (double
+// forwarding would relocate its pointers twice).
+func TestCollectEnvChainShared(t *testing.T) {
+	h := newHarness(0)
+	h.push(atom(0)) // garbage so live cells move
+	cell := h.push(atom(4))
+	h.push(word.Nil())
+
+	const e = 0x400
+	h.st.Write(word.ZLocal, e+lay.EnvLink, word.Word(0))
+	h.st.Write(word.ZLocal, e+lay.EnvSize, word.Make(word.TImm, word.ZNone, 1))
+	h.st.Write(word.ZLocal, e+lay.EnvHeader, list(cell))
+	h.e = e
+
+	const b = 0x600
+	h.st.Write(word.ZChoice, b+lay.CPPrev, word.Word(0))
+	h.st.Write(word.ZChoice, b+lay.CPE, word.Make(word.TEnvPtr, word.ZLocal, e))
+	h.st.Write(word.ZChoice, b+lay.CPH, word.Make(word.TDataPtr, word.ZGlobal, heapBase))
+	h.st.Write(word.ZChoice, b+lay.CPTR, word.Make(word.TTrailPtr, word.ZTrail, trailBase))
+	h.st.Write(word.ZChoice, b+lay.CPArity, word.Make(word.TImm, word.ZNone, 0))
+	h.b = b
+
+	h.collect(t)
+	slot := h.st.Read(word.ZLocal, e+lay.EnvHeader)
+	if slot != list(heapBase) {
+		t.Fatalf("env slot = %v, want list->%#x (moved once, not twice)", slot, heapBase)
+	}
+}
+
+// TestCollectDeepListNoHostStack: pointer reversal must not recurse on
+// the host; a 50k-deep list would overflow a per-cell Go stack.
+func TestCollectDeepListNoHostStack(t *testing.T) {
+	h := newHarness(1)
+	const n = 50_000
+	h.push(atom(0)) // garbage
+	// Build [n, n-1, ..., 1] back to front.
+	tail := word.Nil()
+	for i := 1; i <= n; i++ {
+		car := h.push(word.FromInt(int32(i)))
+		h.push(tail)
+		tail = list(car)
+	}
+	h.regs[0] = tail
+
+	st := h.collect(t)
+	if st.Live != 2*n {
+		t.Fatalf("live = %d, want %d", st.Live, 2*n)
+	}
+	// Walk the list back and check it is intact.
+	w := h.regs[0]
+	for i := n; i >= 1; i-- {
+		if w.Type() != word.TList {
+			t.Fatalf("element %d: spine broke with %v", i, w)
+		}
+		car := h.st.Read(word.ZGlobal, w.Value())
+		if car != word.FromInt(int32(i)) {
+			t.Fatalf("element %d = %v", i, car)
+		}
+		w = h.st.Read(word.ZGlobal, w.Value()+1)
+	}
+	if w != word.Nil() {
+		t.Fatalf("tail = %v", w)
+	}
+}
+
+// TestCollectEmptyHeap: collecting an empty heap is a no-op.
+func TestCollectEmptyHeap(t *testing.T) {
+	h := newHarness(1)
+	st := h.collect(t)
+	if st != (Stats{}) {
+		t.Fatalf("stats = %+v", st)
+	}
+}

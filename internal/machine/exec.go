@@ -92,6 +92,13 @@ func (m *Machine) steps(limit uint64) uint64 {
 		} else {
 			m.exec(in)
 		}
+		if m.err != nil && m.recoverHeap(addr) {
+			// A heap overflow cleared by collection: re-run the faulting
+			// instruction against the compacted heap. Every
+			// heap-allocating instruction rolls back to a restartable
+			// state on a failed push, so the retry re-executes it whole.
+			m.p = addr
+		}
 	}
 	return steps
 }
@@ -144,6 +151,10 @@ func (m *Machine) bootstrap(entry uint32) {
 	m.pushCP(0, 0, m.h, m.tr)
 	m.b0 = m.b
 	m.p = entry
+	// Disarm the overflow-retry progress guard: Instrs can restart
+	// from zero across sessions, and no instruction of this session
+	// has been granted a retry yet.
+	m.gcRetryAddr, m.gcRetryInstr = 0, ^uint64(0)
 	if hooked {
 		m.emit(trace.Event{Kind: trace.KBoot, P: entry, Addr: m.b, Cycles: m.stats.Cycles - before})
 	}
@@ -159,10 +170,14 @@ func (m *Machine) execInstrumented(addr uint32, in *kcmisa.Instr) {
 		t0 = time.Now()
 	}
 	before := m.stats.Cycles
+	gcBefore := m.gcStats.Cycles
 	op := in.Op
 	m.exec(in)
 	if m.prof != nil {
-		m.prof.account(addr, m.stats.Cycles-before)
+		// A collection triggered inside the instruction (the threshold
+		// fires at call boundaries) is not the predicate's own work;
+		// its cycles stay visible in GCStats.
+		m.prof.account(addr, m.stats.Cycles-before-(m.gcStats.Cycles-gcBefore))
 	}
 	if m.hostProf != nil {
 		m.hostProf.account(op, time.Since(t0))
@@ -274,6 +289,7 @@ func (m *Machine) exec(in *kcmisa.Instr) {
 		m.reloadB()
 		m.sf = false
 		m.cf = false
+		m.tidyTrailAfterCut()
 	case kcmisa.SaveB0:
 		m.cyc(c.Move)
 		m.writeY(in.N, ptrOrZero(word.TChpPtr, word.ZChoice, m.b0))
@@ -287,6 +303,7 @@ func (m *Machine) exec(in *kcmisa.Instr) {
 		m.reloadB()
 		m.sf = false
 		m.cf = false
+		m.tidyTrailAfterCut()
 
 	// ---- switches ----
 	case kcmisa.SwitchOnTerm:
@@ -400,10 +417,20 @@ func (m *Machine) exec(in *kcmisa.Instr) {
 			m.mode = false
 		case word.TRef:
 			m.cyc(c.GetStructWrite)
+			trBefore := m.tr
 			if !m.bind(v, word.StructPtr(m.h)) {
 				return
 			}
-			m.heapPush(in.K)
+			if !m.heapPush(in.K) {
+				// The functor push overflowed after the variable was
+				// already bound to the (unpushed) structure. Undo the
+				// binding untimed so an overflow-retry re-executes the
+				// instruction from a clean state — otherwise the retry
+				// would take the read path into a garbage functor.
+				m.poke(v.Zone(), v.Addr(), word.Ref(v.Zone(), v.Addr()))
+				m.tr = trBefore
+				return
+			}
 			m.mode = true
 		default:
 			m.cyc(c.GetStructRead)
@@ -511,8 +538,14 @@ func (m *Machine) exec(in *kcmisa.Instr) {
 	case kcmisa.UnifyVoid:
 		if m.mode {
 			m.cyc(c.UnifyWrite * in.N)
+			h0 := m.h
 			for i := 0; i < in.N; i++ {
 				if _, ok := m.newHeapVar(); !ok {
+					// Roll back the cells already pushed: an
+					// overflow-retry re-runs the whole instruction, and
+					// keeping a partial prefix would shift the remaining
+					// cells of the enclosing block out of position.
+					m.h = h0
 					return
 				}
 			}

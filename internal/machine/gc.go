@@ -1,6 +1,10 @@
 package machine
 
 import (
+	"errors"
+
+	"repro/internal/gc"
+	"repro/internal/trace"
 	"repro/internal/word"
 )
 
@@ -9,27 +13,48 @@ import (
 // The KCM data word reserves two GC bits and the zone-check unit is
 // explicitly designed to trigger collection when a stack crosses a
 // soft limit (section 3.2.3); the collector itself runs as machine
-// code. This implementation is the classic sliding mark-compact for
-// WAM heaps: it preserves cell order (so the H watermarks saved in
-// choice points and the trail remain meaningful after forwarding) and
-// compacts in place.
+// code. The algorithm lives in internal/gc: a pointer-reversal mark
+// over the root set using the word's GC bits, a sliding compaction
+// (cell order — and therefore the saved H watermarks — survives), and
+// trail compression. This file binds it to the machine: the store
+// adapter, the root set, the cost model, and the overflow-retry
+// policy that turns ErrHeapOverflow from a fatal fault into a
+// collection point.
 //
-// Collection happens at call boundaries, where the machine state is
-// minimal: the S register is dead, the shallow flag is clear, and the
-// live roots are exactly the argument registers, the environment
-// chains, the choice-point frames and the trail.
+// Collection runs either at a call boundary (the size-threshold
+// trigger, where the machine state is minimal) or at an arbitrary
+// instruction that overflowed the heap mid-execution. The second case
+// is why the collector clamps half-built blocks at the heap top and
+// forwards pointers AT H: every heap-allocating instruction is
+// written to be restartable, and after a collection the faulting
+// instruction re-runs against the compacted heap.
 
 // GCStats counts collector activity.
 type GCStats struct {
 	Collections uint64
 	LiveWords   uint64
 	FreedWords  uint64
+	TrailDrops  uint64 // trail entries dropped by compression
 	Cycles      uint64
 }
 
 // gcCyclesPerWord is the modelled software cost of scanning and
 // moving one word during collection (mark + update + slide).
 const gcCyclesPerWord = 4
+
+// gcLayout hands the machine's frame geometry to the collector.
+var gcLayout = gc.Layout{
+	EnvLink: 0, EnvSize: 2, EnvHeader: envHeader,
+	CPPrev: cpPrev, CPE: cpE, CPH: cpH, CPTR: cpTR,
+	CPArity: cpArity, CPHeader: cpHeader,
+}
+
+// machineStore adapts the machine's untimed, cache-coherent access
+// path to the collector's Store interface.
+type machineStore struct{ m *Machine }
+
+func (s machineStore) Read(z word.Zone, a uint32) word.Word     { return s.m.peek(z, a) }
+func (s machineStore) Write(z word.Zone, a uint32, w word.Word) { s.m.poke(z, a, w) }
 
 // maybeGC runs a collection when the heap has grown past the
 // configured threshold. Called at call/execute boundaries.
@@ -40,193 +65,69 @@ func (m *Machine) maybeGC() {
 	m.collect()
 }
 
-// collect performs one sliding mark-compact collection of
-// [GlobalBase, H).
+// collect performs one collection of [GlobalBase, H), charging the
+// simulated cost to the cycle counter and emitting gc_start/gc_end
+// trace events when a hook is installed. The cost is tracked
+// separately in GCStats.Cycles so the traced loop can attribute it to
+// the <gc> pseudo-predicate instead of the interrupted instruction.
 func (m *Machine) collect() {
 	base := m.cfg.GlobalBase
 	used := m.h - base
 	if used == 0 {
 		return
 	}
-	live := make([]bool, used)
-
-	inHeap := func(a uint32) bool { return a >= base && a < m.h }
-
-	// markWord marks the object a data word points to, transitively.
-	var stack []word.Word
-	markWord := func(w word.Word) {
-		stack = append(stack, w)
+	if m.hook != nil {
+		m.emit(trace.Event{Kind: trace.KGCStart, P: m.traceP, Addr: m.h})
 	}
-	drain := func() {
-		for len(stack) > 0 {
-			w := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			var blockStart, blockLen uint32
-			switch w.Type() {
-			case word.TRef, word.TDataPtr:
-				if w.Zone() != word.ZGlobal || !inHeap(w.Addr()) {
-					continue
-				}
-				blockStart, blockLen = w.Addr(), 1
-			case word.TList:
-				if !inHeap(w.Addr()) {
-					continue
-				}
-				blockStart, blockLen = w.Addr(), 2
-			case word.TStruct:
-				if !inHeap(w.Addr()) {
-					continue
-				}
-				f := m.peek(word.ZGlobal, w.Addr())
-				if f.Type() != word.TFunc {
-					continue
-				}
-				blockStart, blockLen = w.Addr(), uint32(f.FunctorArity())+1
-			default:
-				continue
-			}
-			if blockStart+blockLen > m.h {
-				continue // stale pointer beyond the heap top
-			}
-			// No block-level early-out: a stale register may have
-			// marked a prefix of this block as a smaller object, and
-			// the remaining cells must still be traced. The per-cell
-			// guard below keeps the walk terminating even on cyclic
-			// terms.
-			for i := uint32(0); i < blockLen; i++ {
-				if !live[blockStart-base+i] {
-					live[blockStart-base+i] = true
-					c := m.peek(word.ZGlobal, blockStart+i)
-					if c.Type().Pointer() {
-						stack = append(stack, c)
-					}
-				}
-			}
-		}
+	roots := gc.Roots{
+		Regs: m.regs[:], E: m.e, B: m.b,
+		H: &m.h, HB: &m.hb, ShadowH: &m.shadowH, S: &m.s,
+		TR: &m.tr, ShadowTR: &m.shadowTR,
+		HeapBase: base, TrailBase: m.cfg.TrailBase,
 	}
-
-	// Roots: the register file.
-	for _, w := range m.regs {
-		markWord(w)
-	}
-	// Environment chains: the current one and every choice-point one.
-	markEnvChain := func(e uint32) {
-		for e != 0 {
-			size := m.peek(word.ZLocal, e+2).Value()
-			for i := uint32(0); i < size; i++ {
-				markWord(m.peek(word.ZLocal, e+envHeader+i))
-			}
-			e = m.peek(word.ZLocal, e).Value()
-		}
-	}
-	markEnvChain(m.e)
-	// Choice points: saved argument registers and environments.
-	for b := m.b; b != 0; {
-		arity := m.peek(word.ZChoice, b+cpArity).Value()
-		for i := uint32(0); i < arity; i++ {
-			markWord(m.peek(word.ZChoice, b+cpHeader+i))
-		}
-		markEnvChain(m.peek(word.ZChoice, b+cpE).Value())
-		b = m.peek(word.ZChoice, b+cpPrev).Value()
-	}
-	// Trail entries keep their cells alive (the reset on backtracking
-	// must find them).
-	for tr := m.cfg.TrailBase; tr < m.tr; tr++ {
-		markWord(m.peek(word.ZTrail, tr))
-	}
-	drain()
-
-	// Forwarding: the new address of heap word i is base + the number
-	// of live words below it (prefix sums keep cell order, which the
-	// watermarks rely on).
-	forward := make([]uint32, used+1)
-	n := uint32(0)
-	for i := uint32(0); i < used; i++ {
-		forward[i] = base + n
-		if live[i] {
-			n++
-		}
-	}
-	forward[used] = base + n
-
-	fwdAddr := func(a uint32) uint32 {
-		if !inHeap(a) {
-			return a
-		}
-		return forward[a-base]
-	}
-	fwdWord := func(w word.Word) word.Word {
-		switch w.Type() {
-		case word.TRef, word.TDataPtr:
-			if w.Zone() == word.ZGlobal && inHeap(w.Addr()) {
-				return w.WithValue(fwdAddr(w.Addr()))
-			}
-		case word.TList, word.TStruct:
-			if inHeap(w.Addr()) {
-				return w.WithValue(fwdAddr(w.Addr()))
-			}
-		}
-		return w
-	}
-
-	// Update roots.
-	for i, w := range m.regs {
-		m.regs[i] = fwdWord(w)
-	}
-	// Environment frames are shared between the current E chain and
-	// the chains hanging off choice points; each frame must be
-	// rewritten exactly once or its pointers get forwarded twice.
-	updated := make(map[uint32]bool)
-	updEnvChain := func(e uint32) {
-		for e != 0 && !updated[e] {
-			updated[e] = true
-			size := m.peek(word.ZLocal, e+2).Value()
-			for i := uint32(0); i < size; i++ {
-				a := e + envHeader + i
-				m.poke(word.ZLocal, a, fwdWord(m.peek(word.ZLocal, a)))
-			}
-			e = m.peek(word.ZLocal, e).Value()
-		}
-	}
-	updEnvChain(m.e)
-	for b := m.b; b != 0; {
-		arity := m.peek(word.ZChoice, b+cpArity).Value()
-		for i := uint32(0); i < arity; i++ {
-			a := b + cpHeader + i
-			m.poke(word.ZChoice, a, fwdWord(m.peek(word.ZChoice, a)))
-		}
-		// Saved H watermarks move with the prefix map.
-		hw := m.peek(word.ZChoice, b+cpH)
-		m.poke(word.ZChoice, b+cpH, hw.WithValue(fwdAddr(hw.Value())))
-		updEnvChain(m.peek(word.ZChoice, b+cpE).Value())
-		b = m.peek(word.ZChoice, b+cpPrev).Value()
-	}
-	for tr := m.cfg.TrailBase; tr < m.tr; tr++ {
-		m.poke(word.ZTrail, tr, fwdWord(m.peek(word.ZTrail, tr)))
-	}
-	m.hb = fwdAddr(m.hb)
-	m.shadowH = fwdAddr(m.shadowH)
-	// m.bLTOP is a local-stack address: the collector never moves the
-	// local stack, so it stays put.
-
-	// Slide the live cells down, rewriting their pointer contents.
-	for i := uint32(0); i < used; i++ {
-		if !live[i] {
-			continue
-		}
-		w := m.peek(word.ZGlobal, base+i)
-		m.poke(word.ZGlobal, forward[i], fwdWord(w))
-	}
-	newTop := forward[used]
-	freed := m.h - newTop
-	m.h = newTop
-
+	res := gc.Collect(machineStore{m}, &roots, gcLayout)
 	m.gcStats.Collections++
-	m.gcStats.LiveWords += uint64(n)
-	m.gcStats.FreedWords += uint64(freed)
+	m.gcStats.LiveWords += uint64(res.Live)
+	m.gcStats.FreedWords += uint64(res.Freed)
+	m.gcStats.TrailDrops += uint64(res.TrailDropped)
 	cost := uint64(used) * gcCyclesPerWord
 	m.gcStats.Cycles += cost
 	m.stats.Cycles += cost
+	if m.hook != nil {
+		m.emit(trace.Event{Kind: trace.KGCEnd, P: m.traceP, Addr: m.h,
+			Arg: uint64(res.Freed), Cycles: cost})
+	}
+}
+
+// recoverHeap decides whether a heap-overflow fault can be cleared by
+// collecting. It returns true when the faulting instruction should be
+// retried: overflow collection is enabled, the fault is
+// ErrHeapOverflow, this is not an immediate repeat of the same
+// instruction (an instruction that faults again with nothing executed
+// in between cannot be satisfied by collection — typically a wild
+// out-of-bounds read classified as overflow, or a heap genuinely too
+// small), and the collection left at least the configured watermark
+// of free space. On refusal the original fault stands.
+func (m *Machine) recoverHeap(addr uint32) bool {
+	if !m.gcOnOverflow || !errors.Is(m.err, ErrHeapOverflow) {
+		return false
+	}
+	if addr == m.gcRetryAddr && m.stats.Instrs == m.gcRetryInstr+1 {
+		return false
+	}
+	m.err = nil // collection writes through the fault-checking path
+	m.collect()
+	if m.err != nil {
+		return false
+	}
+	free := m.cfg.GlobalBase + m.cfg.GlobalSize - m.h
+	if free < m.heapWatermark {
+		m.errw(ErrHeapOverflow, "collection left %d words free, watermark %d",
+			free, m.heapWatermark)
+		return false
+	}
+	m.gcRetryAddr, m.gcRetryInstr = addr, m.stats.Instrs
+	return true
 }
 
 // poke writes a data word bypassing timing but staying coherent with

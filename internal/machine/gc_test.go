@@ -107,7 +107,7 @@ churn(0).
 churn(N) :- mk(N, _), M is N - 1, churn(M).
 mk(N, [N, N, N, N]).
 `
-	small := Config{GlobalBase: 0x10000, GlobalSize: 0x800}
+	small := Config{GlobalBase: 0x10000, GlobalSize: 0x800, GCOnOverflow: Off}
 	if _, _, err := run(t, src, "churn(2000).", small); err == nil {
 		t.Fatal("expected heap overflow without GC")
 	}

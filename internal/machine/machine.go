@@ -89,9 +89,24 @@ type Config struct {
 
 	// GCThresholdWords enables the sliding mark-compact collector on
 	// the global stack: when the heap grows past this many words, the
-	// next call boundary collects. 0 disables (the benchmark suite
-	// never needs it; the zone check traps on genuine exhaustion).
+	// next call boundary collects. 0 disables the threshold trigger
+	// (overflow-triggered collection below still applies).
 	GCThresholdWords uint32
+
+	// GCOnOverflow controls overflow-triggered collection: when a heap
+	// push (or any global-zone bounds trap) raises ErrHeapOverflow,
+	// the step loop collects and retries the faulting instruction
+	// instead of surfacing the fault. nil defaults to on; set Off to
+	// restore the pre-collector behavior where heap exhaustion is
+	// immediately fatal.
+	GCOnOverflow *bool
+
+	// HeapWatermarkWords is the minimum free global-stack space (in
+	// words) an overflow-triggered collection must leave for the
+	// faulting instruction to be retried; a collection that frees less
+	// surfaces ErrHeapOverflow instead of thrashing. 0 selects
+	// GlobalSize/16, floored at 64 words.
+	HeapWatermarkWords uint32
 
 	// Profile enables the per-predicate cycle monitor (see Profile).
 	Profile bool
@@ -240,10 +255,15 @@ type Machine struct {
 	// pdl is the unification push-down list.
 	pdl []word.Word
 
-	gcThreshold uint32
-	gcStats     GCStats
-	prof        *profiler
-	hostProf    *hostProfiler
+	gcThreshold    uint32
+	gcOnOverflow   bool
+	heapWatermark  uint32
+	trailHighWater uint32 // cut tidies the trail only above this mark
+	gcRetryAddr    uint32 // last instruction granted an overflow retry
+	gcRetryInstr   uint64 // Instrs count when the retry was granted
+	gcStats        GCStats
+	prof           *profiler
+	hostProf       *hostProfiler
 
 	// Trace state (nil hook = tracing off; see traced.go).
 	hook           trace.Hook
@@ -314,6 +334,15 @@ func New(im *asm.Image, cfg Config) (*Machine, error) {
 		hwTrail: boolDefault(cfg.HWTrail, true),
 	}
 	m.gcThreshold = cfg.GCThresholdWords
+	m.gcOnOverflow = boolDefault(cfg.GCOnOverflow, true)
+	m.trailHighWater = cfg.TrailBase + cfg.TrailSize - cfg.TrailSize/4
+	m.heapWatermark = cfg.HeapWatermarkWords
+	if m.heapWatermark == 0 {
+		m.heapWatermark = cfg.GlobalSize / 16
+		if m.heapWatermark < 64 {
+			m.heapWatermark = 64
+		}
+	}
 	if cfg.Profile {
 		m.prof = newProfiler(im)
 	}
@@ -496,6 +525,12 @@ func (m *Machine) Reset() {
 	m.err = nil
 	m.gcStats = GCStats{}
 }
+
+// Err returns the machine's pending fault, or nil. A non-nil fault
+// means the simulated state is mid-failure (stale zone registers,
+// possibly a half-executed instruction); callers pooling machines
+// should discard or Reset such a machine rather than reuse it as-is.
+func (m *Machine) Err() error { return m.err }
 
 // SetOut redirects write/1 and nl/0 output (nil selects io.Discard).
 // Pooled machines are rebound to the writer of each query they serve.

@@ -57,7 +57,7 @@ func TestHeapOverflowTraps(t *testing.T) {
 	// the hardware stack-overflow check of the paper.
 	src := "grow(0, []).\ngrow(N, [N|T]) :- N > 0, M is N - 1, grow(M, T).\n"
 	_, _, err := run(t, src, "grow(100000, _).", Config{
-		GlobalBase: 0x10000, GlobalSize: 0x1000,
+		GlobalBase: 0x10000, GlobalSize: 0x1000, GCOnOverflow: Off,
 	})
 	if err == nil || !strings.Contains(err.Error(), "zone") {
 		t.Fatalf("want zone trap, got %v", err)

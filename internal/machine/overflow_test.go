@@ -1,0 +1,159 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+// Sources for the per-zone overflow drivers.
+const (
+	// churnSrc makes four words of garbage per iteration; nothing is
+	// retained, so collection recovers all of it.
+	churnSrc = "churn(0).\nchurn(N) :- mk(N, _), M is N - 1, churn(M).\nmk(N, [N, N, N, N]).\n"
+	// growLiveSrc builds one long list reachable from the query
+	// variable, so nothing is garbage and collection cannot help.
+	growLiveSrc = "grow(0, []).\ngrow(N, [N|T]) :- N > 0, M is N - 1, grow(M, T).\n"
+	// deepEnvSrc keeps every environment live (the recursive call is
+	// not last), growing the local stack without bound.
+	deepEnvSrc = "deep(0).\ndeep(N) :- M is N - 1, deep(M), sink.\nsink.\n"
+	// cpPileSrc leaves one untried alternative per iteration, growing
+	// the choice-point stack without bound.
+	cpPileSrc = "p(_) :- q.\np(_) :- q.\nq.\nr(0).\nr(N) :- p(N), M is N - 1, r(M).\n"
+	// trailPileSrc binds, every iteration, a variable older than the
+	// choice point q/1 leaves behind, pushing one trail entry that is
+	// never popped.
+	trailPileSrc = "mk(_).\nq(a).\nq(b).\nt(0).\nt(N) :- mk(X), q(_), X = a, M is N - 1, t(M).\n"
+)
+
+// TestOverflowSentinelTaxonomy pins, for each zone of the data space,
+// the exact sentinel its overflow surfaces (via errors.Is, with the
+// other stack sentinels excluded), and which overflows the collector
+// can recover from: a heap overflow whose heap is mostly garbage is
+// transparently collected and the run completes, while live-data heap
+// exhaustion and the three other stacks stay terminal even with
+// collection enabled.
+func TestOverflowSentinelTaxonomy(t *testing.T) {
+	stackErrs := []error{ErrHeapOverflow, ErrLocalOverflow, ErrChoiceOverflow, ErrTrailOverflow}
+	cases := []struct {
+		name     string
+		src, qry string
+		cfg      Config
+		want     error
+		recovers bool // completes when overflow-triggered collection is on
+	}{
+		{
+			name: "heap-garbage", src: churnSrc, qry: "churn(2000).",
+			cfg:      Config{GlobalBase: 0x10000, GlobalSize: 0x800},
+			want:     ErrHeapOverflow,
+			recovers: true,
+		},
+		{
+			name: "heap-live", src: growLiveSrc, qry: "grow(100000, L).",
+			cfg:  Config{GlobalBase: 0x10000, GlobalSize: 0x1000},
+			want: ErrHeapOverflow,
+		},
+		{
+			name: "local", src: deepEnvSrc, qry: "deep(100000).",
+			cfg:  Config{LocalBase: 0x400000, LocalSize: 0x400},
+			want: ErrLocalOverflow,
+		},
+		{
+			name: "choice", src: cpPileSrc, qry: "r(100000).",
+			cfg:  Config{ChoiceBase: 0x800000, ChoiceSize: 0x200},
+			want: ErrChoiceOverflow,
+		},
+		{
+			name: "trail", src: trailPileSrc, qry: "t(100000).",
+			cfg:  Config{TrailBase: 0xC00000, TrailSize: 0x40},
+			want: ErrTrailOverflow,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Collection off: every overflow is terminal and typed.
+			off := tc.cfg
+			off.GCOnOverflow = Off
+			_, _, err := run(t, tc.src, tc.qry, off)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("GC off: got %v, want %v", err, tc.want)
+			}
+			for _, other := range stackErrs {
+				if other != tc.want && errors.Is(err, other) {
+					t.Errorf("GC off: error %v also matches %v", err, other)
+				}
+			}
+			// Collection on (the default).
+			_, res, err := run(t, tc.src, tc.qry, tc.cfg)
+			if tc.recovers {
+				if err != nil || !res.Success {
+					t.Fatalf("GC on: want recovery, got err=%v success=%v", err, res.Success)
+				}
+			} else if !errors.Is(err, tc.want) {
+				t.Fatalf("GC on: want terminal %v, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestCutTidiesTrail is the regression for trail growth under cut:
+// each iteration binds a variable older than q/1's choice point (one
+// trail entry) and then cuts the choice point away. The entries can
+// never be unwound after the cut, and before trail tidying they
+// accumulated until ErrTrailOverflow. With tidying, the run completes
+// in a trail far smaller than the iteration count.
+func TestCutTidiesTrail(t *testing.T) {
+	src := "mk(_).\nq(a).\nq(b).\nt(0).\nt(N) :- mk(X), q(_), X = a, !, M is N - 1, t(M).\n"
+	cfg := Config{TrailBase: 0xC00000, TrailSize: 0x40}
+	m, res, err := run(t, src, "t(500).", cfg)
+	if err != nil || !res.Success {
+		t.Fatalf("tidied run: err=%v success=%v", err, res.Success)
+	}
+	if m.tr >= cfg.TrailBase+cfg.TrailSize {
+		t.Fatalf("trail top 0x%x beyond the zone", m.tr)
+	}
+	// The same program without the cut must still overflow: tidying
+	// only reclaims entries made unconditional by a cut.
+	if _, _, err := run(t, trailPileSrc, "t(500).", cfg); !errors.Is(err, ErrTrailOverflow) {
+		t.Fatalf("uncut control: got %v, want ErrTrailOverflow", err)
+	}
+}
+
+// TestSessionSurvivesCollections runs the garbage-heavy query as a
+// preemptible session in a tiny heap: collections triggered inside
+// RunFor slices must not disturb suspend/resume, and the session must
+// reach the same answer as a one-shot run.
+func TestSessionSurvivesCollections(t *testing.T) {
+	im := buildImage(t, churnSrc, "churn(2000).")
+	m, err := New(im, Config{GlobalBase: 0x10000, GlobalSize: 0x800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := im.Entry(compiler.QueryPI)
+	m.Begin(entry)
+	slices := 0
+	for {
+		st, err := m.RunFor(nil, 2000)
+		if err != nil {
+			t.Fatalf("slice %d: %v", slices, err)
+		}
+		slices++
+		if st != Suspended {
+			break
+		}
+		if slices > 10000 {
+			t.Fatal("session never finished")
+		}
+	}
+	res := m.Result()
+	if !res.Success {
+		t.Fatal("session failed")
+	}
+	if res.GC.Collections == 0 {
+		t.Fatal("expected collections in a tiny heap")
+	}
+	if slices < 2 {
+		t.Fatalf("want the run to span several slices, got %d", slices)
+	}
+}

@@ -114,6 +114,54 @@ func (m *Machine) unwindTrail(to uint32) {
 	}
 }
 
+// tidyTrailAfterCut compacts the top trail segment after a cut has
+// discarded choice points. Entries pushed above the surviving choice
+// point's saved TR were recorded against barriers the cut removed;
+// any entry whose cell is now younger than every remaining barrier
+// (heap cell at or above HB, local cell at or above bLTOP) can never
+// be unwound and would otherwise accumulate until ErrTrailOverflow in
+// deep conjunctions under !. Tidying costs simulated time, so it is
+// gated on trail pressure: programs that stay below the high-water
+// mark keep byte-identical cycle counts.
+func (m *Machine) tidyTrailAfterCut() {
+	if m.tr < m.trailHighWater {
+		return
+	}
+	from := m.cfg.TrailBase
+	if m.b != 0 {
+		w, ok := m.rd(word.ZChoice, m.b+cpTR)
+		if !ok {
+			return
+		}
+		from = w.Value()
+	}
+	out := from
+	for t := from; t < m.tr; t++ {
+		e, ok := m.rd(word.ZTrail, t)
+		if !ok {
+			return
+		}
+		m.cyc(1) // classify against HB / bLTOP
+		keep := true
+		switch e.Zone() {
+		case word.ZGlobal:
+			keep = e.Addr() < m.hb
+		case word.ZLocal:
+			keep = e.Addr() < m.bLTOP
+		}
+		if !keep {
+			continue
+		}
+		if out != t {
+			if !m.wr(word.ZTrail, out, e) {
+				return
+			}
+		}
+		out++
+	}
+	m.tr = out
+}
+
 // ---- heap ----
 
 func (m *Machine) heapPush(w word.Word) bool {

@@ -198,7 +198,7 @@ func TestErrorTaxonomy(t *testing.T) {
 	// Heap overflow: a tiny global zone.
 	src := "grow(0, []).\ngrow(N, [N|T]) :- N > 0, M is N - 1, grow(M, T).\n"
 	_, _, err = run(t, src, "grow(100000, _).", Config{
-		GlobalBase: 0x10000, GlobalSize: 0x1000,
+		GlobalBase: 0x10000, GlobalSize: 0x1000, GCOnOverflow: Off,
 	})
 	if !errors.Is(err, ErrHeapOverflow) {
 		t.Errorf("heap overflow: %v, want ErrHeapOverflow", err)

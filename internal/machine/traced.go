@@ -65,9 +65,10 @@ func (m *Machine) Hook() trace.Hook { return m.hook }
 
 // stepsTraced is steps() with event emission: per-instruction KInstr
 // events carrying the instruction's exact cycle delta (fetch + execute
-// + data traffic + any GC it triggered), control-boundary events
-// derived from the opcode, and a KFault event covering cycles charged
-// by a fetch that faulted before execution.
+// + data traffic, with any garbage-collection cost subtracted out —
+// the collector attributes it to KGCEnd instead), control-boundary
+// events derived from the opcode, and a KFault event covering cycles
+// charged by a fetch that faulted before execution.
 func (m *Machine) stepsTraced(limit uint64) uint64 {
 	steps := uint64(0)
 	instrumented := m.prof != nil || m.hostProf != nil
@@ -76,6 +77,7 @@ func (m *Machine) stepsTraced(limit uint64) uint64 {
 		addr := m.p
 		m.traceP = addr
 		before := m.stats.Cycles
+		gcBefore := m.gcStats.Cycles
 		var in *kcmisa.Instr
 		var nw int
 		if int64(addr) < int64(len(m.pwidth)) {
@@ -120,16 +122,24 @@ func (m *Machine) stepsTraced(limit uint64) uint64 {
 		} else {
 			m.exec(in)
 		}
-		m.emit(trace.Event{Kind: trace.KInstr, Op: op, P: addr, Cycles: m.stats.Cycles - before})
+		m.emit(trace.Event{Kind: trace.KInstr, Op: op, P: addr,
+			Cycles: m.stats.Cycles - before - (m.gcStats.Cycles - gcBefore)})
+		if m.err != nil {
+			// Mirror of the overflow-retry path in steps(): a heap
+			// overflow may be cleared by collection, in which case the
+			// faulting instruction re-runs (and re-emits its events).
+			m.pendingCallSet = false
+			if m.recoverHeap(addr) {
+				m.p = addr
+			}
+			continue // a standing fault ends the loop; no boundary happened
+		}
 		if m.pendingCallSet {
 			// A meta-call escape resolved its goal during exec; the
 			// boundary event follows the owning instruction's KInstr.
 			m.pendingCallSet = false
 			m.emit(trace.Event{Kind: trace.KCall, Op: op, P: addr, Addr: m.pendingCall})
 			continue
-		}
-		if m.err != nil {
-			continue // the fault ends the loop; no boundary happened
 		}
 		switch op {
 		case kcmisa.Call:

@@ -22,10 +22,11 @@ type Kind uint8
 const (
 	// KInstr is one executed instruction: P is its code address, Op
 	// its opcode, Cycles the simulated microcycles the instruction
-	// consumed including its code fetch, data traffic, cache misses
-	// and any garbage collection it triggered. Summing KInstr, KBoot,
-	// KRedo and KFault cycles reproduces the machine's total cycle
-	// counter exactly.
+	// consumed including its code fetch, data traffic and cache
+	// misses — but not garbage collection it triggered, which is
+	// carried by KGCEnd. Summing KInstr, KBoot, KRedo, KFault and
+	// KGCEnd cycles reproduces the machine's total cycle counter
+	// exactly.
 	KInstr Kind = iota + 1
 	// KCall marks a call boundary: Addr is the callee's entry point.
 	// Emitted after the call instruction's own KInstr event, and also
@@ -85,6 +86,15 @@ const (
 	KReset
 	// KHalt marks halt or halt_fail; Arg is 1 for halt_fail.
 	KHalt
+	// KGCStart marks the beginning of a heap collection: P is the
+	// owning instruction's address, Addr the heap top (H) before
+	// collection.
+	KGCStart
+	// KGCEnd marks the end of a heap collection: Addr is the
+	// compacted heap top, Arg the number of words freed, Cycles the
+	// modelled collection cost (attributed to the <gc>
+	// pseudo-predicate, not the interrupted instruction).
+	KGCEnd
 )
 
 var kindNames = [...]string{
@@ -95,6 +105,7 @@ var kindNames = [...]string{
 	KMMUTrap: "mmu_trap", KMMUPage: "mmu_page",
 	KBoot: "boot", KRedo: "redo", KFault: "fault",
 	KSuspend: "suspend", KResume: "resume", KReset: "reset", KHalt: "halt",
+	KGCStart: "gc_start", KGCEnd: "gc_end",
 }
 
 func (k Kind) String() string {

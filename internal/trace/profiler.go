@@ -14,12 +14,14 @@ const (
 	BootName  = "<boot>"  // session bootstrap (bottom choice-point save)
 	RedoName  = "<redo>"  // host-forced backtracks (Machine.Redo)
 	FaultName = "<fault>" // cycles charged before a fetch fault stopped a step
+	GCName    = "<gc>"    // heap collection (KGCEnd cycles)
 )
 
 // Profiler attributes simulated microcycles to predicates. Flat
 // attribution is exact: every KInstr event's cycles go to the
-// predicate owning the instruction's address, and the boot/redo/fault
-// events cover the remaining machine cycles, so Total() equals the
+// predicate owning the instruction's address, and the
+// boot/redo/fault/gc events cover the remaining machine cycles, so
+// Total() equals the
 // machine's cycle counter — internal/bench's conservation test pins
 // this for the whole benchmark suite.
 //
@@ -36,7 +38,7 @@ type Profiler struct {
 	self  []uint64 // per predicate index
 	calls []uint64 // KCall+KExecute entries per predicate index
 	sysSelf, sysCalls,
-	boot, redo, fault uint64
+	boot, redo, fault, gc uint64
 
 	// Shadow call stack of predicate indices (-1 = system), plus the
 	// choice-point depth records that let deep fails truncate it.
@@ -74,7 +76,7 @@ func (p *Profiler) Reset() {
 		p.self[i] = 0
 		p.calls[i] = 0
 	}
-	p.sysSelf, p.sysCalls, p.boot, p.redo, p.fault = 0, 0, 0, 0, 0
+	p.sysSelf, p.sysCalls, p.boot, p.redo, p.fault, p.gc = 0, 0, 0, 0, 0, 0
 	p.stack = p.stack[:0]
 	p.cpDepth = p.cpDepth[:0]
 	p.folded = make(map[string]uint64)
@@ -158,6 +160,8 @@ func (p *Profiler) Emit(ev Event) {
 		p.redo += ev.Cycles
 	case KFault:
 		p.fault += ev.Cycles
+	case KGCEnd:
+		p.gc += ev.Cycles
 	case KReset:
 		p.Reset()
 	}
@@ -212,7 +216,7 @@ func (p *Profiler) stackKey() string {
 // Total returns all attributed cycles. On a consistent machine this
 // equals Stats.Cycles exactly.
 func (p *Profiler) Total() uint64 {
-	t := p.boot + p.redo + p.fault + p.sysSelf
+	t := p.boot + p.redo + p.fault + p.gc + p.sysSelf
 	for _, c := range p.self {
 		t += c
 	}
@@ -267,6 +271,9 @@ func (p *Profiler) Rows() []Row {
 	}
 	if p.fault != 0 {
 		rows = append(rows, Row{Name: FaultName, Self: p.fault, Cum: p.fault})
+	}
+	if p.gc != 0 {
+		rows = append(rows, Row{Name: GCName, Self: p.gc, Cum: p.gc})
 	}
 	return rows
 }

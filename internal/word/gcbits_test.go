@@ -1,0 +1,64 @@
+package word
+
+import "testing"
+
+// TestWithGCBitIsolation exhaustively checks that WithGC rewrites only
+// bits 57..56: for every type, every zone and all four GC values the
+// type, zone and value fields must come back untouched, and the GC
+// field must read back exactly what was written. The collector relies
+// on this — it stamps mark and link bits onto live heap cells in
+// place and must not corrupt them.
+func TestWithGCBitIsolation(t *testing.T) {
+	values := []uint32{0, 1, 0x0010000, 0x0FFFFFFF, 0xFFFFFFFF}
+	for ti := 0; ti < 16; ti++ {
+		for zi := 0; zi < 8; zi++ {
+			for _, v := range values {
+				w := Make(Type(ti), Zone(zi), v)
+				for gc := uint8(0); gc < 4; gc++ {
+					g := w.WithGC(gc)
+					if g.Type() != Type(ti) {
+						t.Fatalf("WithGC(%d) on %v/%v/%#x changed type to %v",
+							gc, Type(ti), Zone(zi), v, g.Type())
+					}
+					if g.Zone() != Zone(zi) {
+						t.Fatalf("WithGC(%d) on %v/%v/%#x changed zone to %v",
+							gc, Type(ti), Zone(zi), v, g.Zone())
+					}
+					if g.Value() != v {
+						t.Fatalf("WithGC(%d) on %v/%v/%#x changed value to %#x",
+							gc, Type(ti), Zone(zi), v, g.Value())
+					}
+					if g.GC() != gc {
+						t.Fatalf("WithGC(%d) on %v/%v/%#x reads back GC %d",
+							gc, Type(ti), Zone(zi), v, g.GC())
+					}
+					if got := g.Marked(); got != (gc&GCMark != 0) {
+						t.Fatalf("Marked() = %v with GC bits %02b", got, gc)
+					}
+					if back := g.WithGC(0); back != w {
+						t.Fatalf("WithGC(%d) then WithGC(0) on %v/%v/%#x: %#x != %#x",
+							gc, Type(ti), Zone(zi), v, uint64(back), uint64(w))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWithGCOverwrites checks that WithGC replaces rather than ORs:
+// going from bits 11 to 01 must clear the link bit.
+func TestWithGCOverwrites(t *testing.T) {
+	w := Make(TList, ZGlobal, 0x123456).WithGC(GCMark | GCLink)
+	if w.GC() != GCMark|GCLink {
+		t.Fatalf("setup: GC = %02b", w.GC())
+	}
+	w = w.WithGC(GCMark)
+	if w.GC() != GCMark {
+		t.Fatalf("WithGC(GCMark) left GC = %02b", w.GC())
+	}
+	// Out-of-range input is masked to the field width.
+	w = w.WithGC(0xFF)
+	if w.GC() != 3 {
+		t.Fatalf("WithGC(0xFF) left GC = %02b", w.GC())
+	}
+}

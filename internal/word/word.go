@@ -116,8 +116,21 @@ func (w Word) Zone() Zone { return Zone(w >> zoneShift & zoneMask) }
 // Value extracts the 32-bit value part (bits 31..0).
 func (w Word) Value() uint32 { return uint32(w & valueMask) }
 
+// The two GC bits (bits 57..56) as used by the heap collector
+// (internal/gc): GCMark flags a live cell during the mark phase, and
+// GCLink additionally flags a cell that temporarily holds a
+// pointer-reversal link instead of its own contents. Outside a
+// collection every cell has both bits clear.
+const (
+	GCMark uint8 = 1 << 0
+	GCLink uint8 = 1 << 1
+)
+
 // GC extracts the two garbage-collection bits (bits 57..56).
 func (w Word) GC() uint8 { return uint8(w >> gcShift & gcMask) }
+
+// Marked reports whether the GCMark bit is set.
+func (w Word) Marked() bool { return w.GC()&GCMark != 0 }
 
 // WithGC returns the word with its GC bits replaced. The TVM
 // (tag-value multiplexer) performs this in hardware.

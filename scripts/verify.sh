@@ -29,6 +29,9 @@ go test -race -run 'TestPoolRace|TestPoolTraceRace' ./internal/engine/
 echo '== cycle-count pin (kcmbench counters must not drift)'
 go test -run 'TestCyclePin' ./internal/bench/
 
+echo '== gc stress (benchmarks in tiny heaps, several collections, under -race)'
+go test -race -run 'TestGCStress' ./internal/bench/
+
 echo '== coverage floors (scripts/coverage_floors.txt)'
 covprofile=$(mktemp)
 trap 'rm -f "$covprofile"' EXIT
