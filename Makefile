@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify vet fmt bench tables
+.PHONY: build test verify vet lint fmt bench tables
 
 # BENCH_N selects the BENCH_<n>.json the host benchmarks write.
 BENCH_N ?= 0
@@ -17,7 +17,12 @@ verify:
 	sh scripts/verify.sh
 
 vet:
-	$(GO) run ./cmd/kcmvet -bench examples/*/main.go
+	$(GO) run ./cmd/kcmvet -strict -bench examples/*/main.go
+
+# Host-source lint: sentinel-error comparisons, allocations in the
+# machine's hot step loops, non-exhaustive trace.Kind switches.
+lint:
+	$(GO) run ./cmd/kcmlint .
 
 fmt:
 	gofmt -w .

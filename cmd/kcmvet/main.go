@@ -3,17 +3,23 @@
 // instruction stream (control-flow graph, register init-before-use,
 // permanent-variable lifetimes, choice-point chain discipline, label
 // validity, unreachable code), links the module, and re-checks the
-// encoded image the way the loader would.
+// encoded image the way the loader would. On top of the verifier it
+// runs the whole-image analyzer and can report its artifacts: the
+// predicate call graph, inferred entry modes and determinism classes,
+// dead code, and the full facts table.
 //
 // Usage:
 //
-//	kcmvet [-disasm] [-bench] [-v] [file.pl|file.go]...
+//	kcmvet [-disasm] [-bench] [-v] [-strict]
+//	       [-callgraph] [-modes] [-deadcode] [-facts] [-json]
+//	       [file.pl|file.go]...
 //
 // A .pl argument is vetted as one program. A .go argument is scanned
 // for top-level backquoted string constants that parse as Prolog
 // (the convention the examples use), and each is vetted separately.
 // -bench additionally vets every program of the internal benchmark
-// suite together with its Table 2 query.
+// suite together with its Table 2 query. -strict also fails (exit 1)
+// on compiler warnings such as unreachable predicates.
 package main
 
 import (
@@ -36,11 +42,18 @@ func main() {
 	disasm := flag.Bool("disasm", false, "print the disassembly of each vetted image")
 	benchAll := flag.Bool("bench", false, "also vet the internal benchmark suite")
 	verbose := flag.Bool("v", false, "report clean programs too")
+	strict := flag.Bool("strict", false, "treat compiler warnings as failures")
+	callgraph := flag.Bool("callgraph", false, "print the predicate call graph (Graphviz dot)")
+	modes := flag.Bool("modes", false, "print inferred entry modes and determinism classes")
+	deadcode := flag.Bool("deadcode", false, "print dead predicates, necks and switch arms")
+	facts := flag.Bool("facts", false, "print the full whole-image facts table")
+	jsonOut := flag.Bool("json", false, "print the facts artifact as JSON")
 	flag.Parse()
 	if flag.NArg() == 0 && !*benchAll {
-		fmt.Fprintln(os.Stderr, "usage: kcmvet [-disasm] [-bench] [-v] [file.pl|file.go]...")
+		fmt.Fprintln(os.Stderr, "usage: kcmvet [-disasm] [-bench] [-v] [-strict] [-callgraph] [-modes] [-deadcode] [-facts] [-json] [file.pl|file.go]...")
 		os.Exit(2)
 	}
+	wantFacts := *callgraph || *modes || *deadcode || *facts || *jsonOut
 
 	bad := false
 	run := func(name, src, query string, partial bool) {
@@ -58,8 +71,19 @@ func main() {
 			fmt.Printf("%s: ok (%d predicates, %d instructions)\n",
 				name, rep.Preds, rep.Instrs)
 		}
+		if rep != nil {
+			for _, w := range rep.Warnings {
+				fmt.Printf("%s: warning: %s\n", name, w)
+				if *strict {
+					bad = true
+				}
+			}
+		}
 		if *disasm && rep != nil && rep.Image != nil {
 			fmt.Print(asm.Disasm(rep.Image))
+		}
+		if wantFacts && rep != nil && rep.Facts != nil {
+			printFacts(name, rep.Facts, *callgraph, *modes, *deadcode, *facts, *jsonOut)
 		}
 	}
 
@@ -102,12 +126,56 @@ func main() {
 	}
 }
 
+// printFacts renders the requested whole-image artifacts for one
+// vetted program.
+func printFacts(name string, f *analysis.ImageFacts, callgraph, modes, deadcode, facts, jsonOut bool) {
+	if jsonOut {
+		if err := f.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "kcmvet: %s: %v\n", name, err)
+		}
+		return
+	}
+	if facts {
+		fmt.Printf("== %s\n%s", name, f.Flat())
+		return
+	}
+	if callgraph {
+		fmt.Print(f.CallGraphDot())
+	}
+	if modes {
+		for _, pf := range f.Preds {
+			ms := make([]string, len(pf.Mode))
+			for i, m := range pf.Mode {
+				ms[i] = m.String()
+			}
+			fmt.Printf("%s: %s det=%v mode=(%s)\n", name, pf.Name, pf.Det, strings.Join(ms, ","))
+		}
+	}
+	if deadcode {
+		for _, pn := range f.DeadPreds() {
+			fmt.Printf("%s: dead predicate %s\n", name, pn)
+		}
+		for _, pf := range f.Preds {
+			for _, a := range pf.DeadNecks {
+				fmt.Printf("%s: %s: dead choice point at %d (neck never materialises)\n",
+					name, pf.Name, a)
+			}
+			for _, da := range pf.DeadArms {
+				fmt.Printf("%s: %s: dead switch arm %s at %d\n",
+					name, pf.Name, da.Arm, da.Addr)
+			}
+		}
+	}
+}
+
 // Report is the outcome of vetting one program.
 type Report struct {
-	Diags  []analysis.Diag
-	Preds  int
-	Instrs int
-	Image  *asm.Image
+	Diags    []analysis.Diag
+	Warnings []string
+	Preds    int
+	Instrs   int
+	Image    *asm.Image
+	Facts    *analysis.ImageFacts
 }
 
 // vetSource compiles a Prolog program (with an optional query goal),
@@ -139,13 +207,14 @@ func vetSource(src, query string, partial bool) (*Report, error) {
 			return nil, err
 		}
 	}
-	rep := &Report{Preds: len(mod.Order)}
+	rep := &Report{Preds: len(mod.Order), Warnings: mod.Warnings}
 	for _, pi := range mod.Order {
 		p := mod.Preds[pi]
 		rep.Instrs += len(p.Code)
 		rep.Diags = append(rep.Diags, analysis.AnalyzePred(pi, p.Code)...)
 	}
 	var im *asm.Image
+	base := uint32(0)
 	if partial {
 		// Resolve calls to undefined predicates through a stub table
 		// pointing below the link base (the bootstrap address), which
@@ -161,19 +230,18 @@ func vetSource(src, query string, partial bool) (*Report, error) {
 				}
 			}
 		}
-		im, err = asm.LinkAt(mod, asm.Base, stubs)
-		if err != nil {
-			return rep, err
-		}
-		rep.Image = im
-		rep.Diags = append(rep.Diags, analysis.VetEncoded(im.Code, asm.Base, im.Entries)...)
-		return rep, nil
+		base = asm.Base
+		im, err = asm.LinkAt(mod, base, stubs)
+	} else {
+		im, err = asm.Link(mod)
 	}
-	im, err = asm.Link(mod)
 	if err != nil {
 		return rep, err
 	}
 	rep.Image = im
-	rep.Diags = append(rep.Diags, analysis.VetEncoded(im.Code, 0, im.Entries)...)
+	rep.Diags = append(rep.Diags, analysis.VetEncoded(im.Code, base, im.Entries)...)
+	if len(rep.Diags) == 0 {
+		rep.Facts = analysis.AnalyzeImage(im.Code, base, im.Entries, nil)
+	}
 	return rep, nil
 }

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AbsVal is the abstract value of one argument register in the mode
+// analysis: a bitmask over the three ground facts the analyzer tracks
+// about the register's dereferenced term. The lattice is the powerset
+// of {unbound, atomic, structured} ordered by inclusion; join is
+// bitwise or, bottom is the empty mask ("no execution reaches this
+// point yet").
+//
+// The aliasing discipline that keeps the domain sound: only
+// put_variable (X or Y) produces a trusted AbsUnbound, and every
+// unification-capable instruction widens all possibly-unbound values
+// to AbsAny, because a unification can bind any variable through an
+// alias the register file cannot see. Downstream consumers may
+// therefore rely on "definitely bound" (the unbound bit is clear) and
+// on definite type bits, but never on definite unboundness.
+type AbsVal uint8
+
+const (
+	absUnboundBit AbsVal = 1 << iota
+	absAtomicBit
+	absStructBit
+)
+
+// The named lattice points. AbsBound and AbsAny are the two common
+// joins; the remaining masks print as combinations.
+const (
+	AbsBottom  AbsVal = 0
+	AbsUnbound AbsVal = absUnboundBit
+	AbsAtomic  AbsVal = absAtomicBit
+	AbsStruct  AbsVal = absStructBit
+	AbsBound   AbsVal = absAtomicBit | absStructBit
+	AbsAny     AbsVal = absUnboundBit | absAtomicBit | absStructBit
+)
+
+// Join returns the least upper bound of two abstract values.
+func (v AbsVal) Join(w AbsVal) AbsVal { return v | w }
+
+// MayUnbound reports whether the value may dereference to an unbound
+// variable.
+func (v AbsVal) MayUnbound() bool { return v&absUnboundBit != 0 }
+
+// Bound reports whether the value definitely dereferences to a bound
+// term — the only negative fact about variables the aliasing
+// discipline lets a consumer trust.
+func (v AbsVal) Bound() bool { return v != AbsBottom && v&absUnboundBit == 0 }
+
+// MayAtomic reports whether the value may be an atomic term.
+func (v AbsVal) MayAtomic() bool { return v&absAtomicBit != 0 }
+
+// MayStruct reports whether the value may be a list cell or
+// structure. The domain deliberately merges the two: the paper's
+// switch_on_term separates them, so a pruning consumer may drop both
+// the list and structure arms only when this bit is clear.
+func (v AbsVal) MayStruct() bool { return v&absStructBit != 0 }
+
+var absNames = map[AbsVal]string{
+	AbsBottom:  "bottom",
+	AbsUnbound: "unbound",
+	AbsAtomic:  "atomic",
+	AbsStruct:  "struct",
+	AbsBound:   "bound",
+	AbsAny:     "any",
+}
+
+func (v AbsVal) String() string {
+	if s, ok := absNames[v]; ok {
+		return s
+	}
+	var parts []string
+	for _, b := range []AbsVal{absUnboundBit, absAtomicBit, absStructBit} {
+		if v&b != 0 {
+			parts = append(parts, absNames[b])
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// MarshalJSON renders the value as its stable string name.
+func (v AbsVal) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", v.String())), nil
+}
+
+// UnmarshalJSON parses the string form produced by MarshalJSON.
+func (v *AbsVal) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	for val, name := range absNames {
+		if s == name {
+			*v = val
+			return nil
+		}
+	}
+	var out AbsVal
+	for _, part := range strings.Split(s, "|") {
+		switch part {
+		case "unbound":
+			out |= absUnboundBit
+		case "atomic":
+			out |= absAtomicBit
+		case "struct":
+			out |= absStructBit
+		default:
+			return fmt.Errorf("analysis: unknown abstract value %q", s)
+		}
+	}
+	*v = out
+	return nil
+}
+
+// unifyAbs is the abstract result both registers hold after a
+// successful general unification of the two. If either side is
+// definitely bound the result carries that side's type bits (a bound
+// term cannot change); when both may be unbound nothing is known
+// afterwards.
+func unifyAbs(a, b AbsVal) AbsVal {
+	switch {
+	case a.Bound() && b.Bound():
+		if m := a & b; m != AbsBottom {
+			return m
+		}
+		// Contradictory type bits: the unification must fail, so the
+		// fall-through state is unreachable. Bottom would poison joins
+		// with "reachable" siblings, so stay conservative.
+		return a | b
+	case a.Bound():
+		return a
+	case b.Bound():
+		return b
+	}
+	return AbsAny
+}
+
+// DetClass is the determinism classification of a predicate.
+type DetClass uint8
+
+const (
+	// DetUnknown marks a predicate the analyzer could not classify
+	// (structurally malformed code); consumers must assume NonDet.
+	DetUnknown DetClass = iota
+	// Det predicates never materialise a choice point on any
+	// reachable path: the trace oracle may assert that no cp_restore
+	// event ever resumes inside them.
+	Det
+	// SemiDet predicates may materialise a choice point but cut it on
+	// every path to a successful exit: at most one solution escapes.
+	SemiDet
+	// NonDet predicates can exit with a surviving choice point.
+	NonDet
+)
+
+var detNames = [...]string{
+	DetUnknown: "unknown", Det: "det", SemiDet: "semidet", NonDet: "nondet",
+}
+
+func (d DetClass) String() string {
+	if int(d) < len(detNames) {
+		return detNames[d]
+	}
+	return "invalid"
+}
+
+// MarshalJSON renders the class as its stable string name.
+func (d DetClass) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", d.String())), nil
+}
+
+// UnmarshalJSON parses the string form produced by MarshalJSON.
+func (d *DetClass) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	for i, n := range detNames {
+		if s == n {
+			*d = DetClass(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("analysis: unknown determinism class %q", s)
+}

@@ -1,8 +1,6 @@
 package analysis
 
 import (
-	"sort"
-
 	"repro/internal/kcmisa"
 	"repro/internal/term"
 	"repro/internal/word"
@@ -153,14 +151,10 @@ func CheckPatched(code []word.Word, base, codeTop uint32) []Diag {
 // execute targets must name an entry or land below base (code linked
 // earlier against an external entry table).
 func VetEncoded(code []word.Word, base uint32, entries map[term.Indicator]uint32) []Diag {
-	ins, ds := decodeAll(code, base)
-	if len(ds) > 0 {
+	if _, ds := decodeAll(code, base); len(ds) > 0 {
 		return ds
 	}
-	byAddr := make(map[uint32]int, len(ins))
-	for i, ei := range ins {
-		byAddr[ei.addr] = i
-	}
+	units, ds := partitionEncoded(code, base, entries)
 	callOK := func(t int) bool {
 		if t >= 0 && uint32(t) < base {
 			return true
@@ -172,96 +166,21 @@ func VetEncoded(code []word.Word, base uint32, entries map[term.Indicator]uint32
 		}
 		return false
 	}
-
-	// Partition [base, end) by sorted entry addresses.
-	type pred struct {
-		pi         term.Indicator
-		start, end uint32
-	}
-	var preds []pred
-	for pi, a := range entries {
-		preds = append(preds, pred{pi: pi, start: a})
-	}
-	sort.Slice(preds, func(i, j int) bool { return preds[i].start < preds[j].start })
-	end := base + uint32(len(code))
-	for i := range preds {
-		if i+1 < len(preds) {
-			preds[i].end = preds[i+1].start
-		} else {
-			preds[i].end = end
-		}
-	}
-
-	for _, p := range preds {
-		i0, ok := byAddr[p.start]
-		if !ok {
-			u := Unit{PI: p.pi, Addr: func(int) uint32 { return p.start }}
-			ds = append(ds, u.diag(0, BadTarget,
-				"entry %v at %d is not an instruction boundary", p.pi, p.start))
-			continue
-		}
-		// Collect the predicate's instructions and the local index of
-		// each address.
-		var local []kcmisa.Instr
-		addrs := make([]uint32, 0, 8)
-		localAt := map[uint32]int{}
-		for i := i0; i < len(ins) && ins[i].addr < p.end; i++ {
-			localAt[ins[i].addr] = len(local)
-			local = append(local, ins[i].in)
-			addrs = append(addrs, ins[i].addr)
-		}
-		u := &Unit{PI: p.pi, Arity: p.pi.Arity, Code: local,
-			Addr: func(i int) uint32 {
-				if i < len(addrs) {
-					return addrs[i]
-				}
-				return p.start
-			}}
-		// Remap absolute label addresses back to local instruction
-		// indices; a label leaving the predicate is malformed.
-		bad := false
-		remap := func(idx int, l *int) {
-			if *l == kcmisa.FailLabel {
-				return
+	for i := range units {
+		ui := &units[i]
+		u := ui.unit()
+		bad := ui.bad
+		for idx := range ui.instrs {
+			in := &ui.instrs[idx]
+			if in.Op != kcmisa.Call && in.Op != kcmisa.Execute {
+				continue
 			}
-			li, ok := localAt[uint32(*l)]
-			if !ok {
+			if !callOK(in.L) {
 				ds = append(ds, u.diag(idx, BadTarget,
-					"%v targets %d outside predicate %v [%d,%d)",
-					local[idx].Op, *l, p.pi, p.start, p.end))
+					"%v targets %d, which is no entry point", in.Op, in.L))
 				bad = true
-				return
 			}
-			*l = li
-		}
-		for idx := range local {
-			in := &local[idx]
-			switch in.Op {
-			case kcmisa.Call, kcmisa.Execute:
-				if !callOK(in.L) {
-					ds = append(ds, u.diag(idx, BadTarget,
-						"%v targets %d, which is no entry point", in.Op, in.L))
-					bad = true
-				}
-				in.L = 0 // out of scope for intra-unit analysis
-			case kcmisa.TryMeElse, kcmisa.RetryMeElse, kcmisa.Try,
-				kcmisa.Retry, kcmisa.Trust, kcmisa.Jump:
-				remap(idx, &in.L)
-			case kcmisa.SwitchOnTerm:
-				t := *in.SwT
-				remap(idx, &t.Var)
-				remap(idx, &t.Const)
-				remap(idx, &t.List)
-				remap(idx, &t.Struct)
-				in.SwT = &t
-			case kcmisa.SwitchOnConst, kcmisa.SwitchOnStruct:
-				remap(idx, &in.L)
-				tbl := append([]kcmisa.SwEntry(nil), in.Sw...)
-				for i := range tbl {
-					remap(idx, &tbl[i].L)
-				}
-				in.Sw = tbl
-			}
+			in.L = 0 // out of scope for intra-unit analysis
 		}
 		if bad {
 			continue

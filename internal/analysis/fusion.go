@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/kcmisa"
+	"repro/internal/word"
+)
+
+// License kinds. A get_run is a maximal straight-line run of head
+// unification instructions; a put_call is a run of goal-argument
+// construction instructions ending in the call or execute they feed.
+const (
+	FuseGetRun  = "get_run"
+	FusePutCall = "put_call"
+)
+
+// License is one machine-checkable fusion record: a future
+// translation tier may collapse the named instruction run into a
+// superinstruction because the analyzer proved no control transfer
+// enters or leaves its interior. CheckLicenses re-derives the claim
+// from the code words alone.
+type License struct {
+	Kind   string `json:"kind"`
+	Start  uint32 `json:"start"`  // code-space address of the first instruction
+	Instrs int    `json:"instrs"` // run length in instructions
+	Words  int    `json:"words"`  // run length in code words
+	// Callee names the called predicate of a put_call run; CalleeDet
+	// records whether that predicate was classified deterministic, the
+	// fact a fused call+proceed chain needs.
+	Callee    string `json:"callee,omitempty"`
+	CalleeDet bool   `json:"callee_det,omitempty"`
+	calleeAt  int    // absolute target address, -1 when external
+}
+
+// getRunOp reports membership in the head-unification run class.
+func getRunOp(op kcmisa.Op) bool {
+	switch op {
+	case kcmisa.GetVarX, kcmisa.GetValX, kcmisa.GetConst, kcmisa.GetNil,
+		kcmisa.GetList, kcmisa.GetStruct,
+		kcmisa.UnifyVarX, kcmisa.UnifyValX, kcmisa.UnifyLocX,
+		kcmisa.UnifyVarY, kcmisa.UnifyValY, kcmisa.UnifyLocY,
+		kcmisa.UnifyConst, kcmisa.UnifyNil, kcmisa.UnifyList, kcmisa.UnifyVoid:
+		return true
+	}
+	return false
+}
+
+// putRunOp reports membership in the goal-construction run class.
+func putRunOp(op kcmisa.Op) bool {
+	switch op {
+	case kcmisa.PutVarX, kcmisa.PutVarY, kcmisa.PutValX, kcmisa.PutValY,
+		kcmisa.PutUnsafeY, kcmisa.PutConst, kcmisa.PutNil, kcmisa.PutList,
+		kcmisa.PutStruct, kcmisa.MoveXY, kcmisa.MoveYX, kcmisa.LoadConst:
+		return true
+	}
+	return false
+}
+
+// collectLicenses walks the reachable blocks of a unit and emits the
+// fusion licenses. Block boundaries are the fusion barriers: a leader
+// is a branch target, so a run confined to one block can only be
+// entered at its first instruction.
+func collectLicenses(u *Unit, mi *modeInfo, reach []bool) []License {
+	var out []License
+	g := mi.g
+	addr := func(i int) uint32 {
+		if u.Addr != nil {
+			return u.Addr(i)
+		}
+		return uint32(i)
+	}
+	words := func(lo, hi int) int {
+		n := 0
+		for i := lo; i < hi; i++ {
+			n += u.Code[i].Words()
+		}
+		return n
+	}
+	for bi := range g.blocks {
+		if bi < len(reach) && !reach[bi] {
+			continue
+		}
+		b := &g.blocks[bi]
+		// Maximal get/unify runs.
+		for i := b.start; i < b.end; {
+			if !getRunOp(u.Code[i].Op) {
+				i++
+				continue
+			}
+			j := i
+			for j < b.end && getRunOp(u.Code[j].Op) {
+				j++
+			}
+			if j-i >= 2 {
+				out = append(out, License{
+					Kind: FuseGetRun, Start: addr(i),
+					Instrs: j - i, Words: words(i, j), calleeAt: -1,
+				})
+			}
+			i = j
+		}
+		// Put runs feeding a call or execute. A call does not end a
+		// basic block (control returns to the next instruction), so any
+		// call inside the block may terminate a fusible chain; the
+		// block-confinement argument covers every prefix of the block.
+		for c := b.start; c < b.end; c++ {
+			if op := u.Code[c].Op; op != kcmisa.Call && op != kcmisa.Execute {
+				continue
+			}
+			i := c
+			for i > b.start && putRunOp(u.Code[i-1].Op) {
+				i--
+			}
+			if i < c {
+				out = append(out, License{
+					Kind: FusePutCall, Start: addr(i),
+					Instrs: c - i + 1, Words: words(i, c+1),
+					calleeAt: u.Code[c].L,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CheckLicenses re-derives every license of the facts artifact from
+// the image words alone, making the fusion claims machine-checkable:
+// each run must decode at the recorded address with the recorded
+// instruction and word counts, every interior instruction must belong
+// to the claimed class, no control transfer may occur before the end
+// of the run, and no branch target anywhere in the image may land
+// inside it. A consumer that validates a license this way may fuse
+// the run without trusting the analyzer.
+func CheckLicenses(f *ImageFacts, code []word.Word, base uint32) []Diag {
+	ins, ds := decodeAll(code, base)
+	if len(ds) > 0 {
+		return ds
+	}
+	at := make(map[uint32]int, len(ins))
+	inside := map[uint32]bool{} // interior (non-head) addresses of all runs
+	for i, ei := range ins {
+		at[ei.addr] = i
+	}
+	badge := func(pi string, lic License, format string, args ...any) Diag {
+		return Diag{Index: -1, Addr: lic.Start, Check: BadTarget,
+			Msg: fmt.Sprintf("license %s@%d (%s): %s", lic.Kind, lic.Start, pi,
+				fmt.Sprintf(format, args...))}
+	}
+	var out []Diag
+	for _, pf := range f.Preds {
+		for _, lic := range pf.Licenses {
+			i, ok := at[lic.Start]
+			if !ok {
+				out = append(out, badge(pf.Name, lic, "start is not an instruction boundary"))
+				continue
+			}
+			if i+lic.Instrs > len(ins) {
+				out = append(out, badge(pf.Name, lic, "run of %d instructions leaves the image", lic.Instrs))
+				continue
+			}
+			w := 0
+			okRun := true
+			for k := 0; k < lic.Instrs; k++ {
+				ei := ins[i+k]
+				w += ei.words
+				if k > 0 {
+					inside[ei.addr] = true
+				}
+				lastOfRun := k == lic.Instrs-1
+				switch lic.Kind {
+				case FuseGetRun:
+					if !getRunOp(ei.in.Op) {
+						out = append(out, badge(pf.Name, lic, "%v at %d is not a get/unify op", ei.in.Op, ei.addr))
+						okRun = false
+					}
+				case FusePutCall:
+					if lastOfRun {
+						if ei.in.Op != kcmisa.Call && ei.in.Op != kcmisa.Execute {
+							out = append(out, badge(pf.Name, lic, "run does not end in call/execute"))
+							okRun = false
+						}
+					} else if !putRunOp(ei.in.Op) {
+						out = append(out, badge(pf.Name, lic, "%v at %d is not a put/move op", ei.in.Op, ei.addr))
+						okRun = false
+					}
+				default:
+					out = append(out, badge(pf.Name, lic, "unknown kind"))
+					okRun = false
+				}
+				if !lastOfRun && (ei.in.Transfer() || ei.in.Op == kcmisa.Call) {
+					out = append(out, badge(pf.Name, lic, "control transfer inside the run at %d", ei.addr))
+					okRun = false
+				}
+				if !okRun {
+					break
+				}
+			}
+			if okRun && w != lic.Words {
+				out = append(out, badge(pf.Name, lic, "word count %d, license says %d", w, lic.Words))
+			}
+		}
+	}
+	// No branch target may enter the interior of any run.
+	for _, ei := range ins {
+		for _, t := range encTargets(ei.in) {
+			if t != kcmisa.FailLabel && inside[uint32(t)] {
+				out = append(out, Diag{Index: -1, Addr: ei.addr, Check: BadTarget,
+					Msg: fmt.Sprintf("%v at %d targets %d inside a fusion run",
+						ei.in.Op, ei.addr, t)})
+			}
+		}
+	}
+	return out
+}

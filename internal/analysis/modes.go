@@ -1,0 +1,389 @@
+package analysis
+
+import (
+	"repro/internal/kcmisa"
+)
+
+// absState is the abstract register file at one program point: the X
+// registers, and the permanent variables of the current environment
+// when one is allocated.
+type absState struct {
+	x   [kcmisa.NumRegs]AbsVal
+	y   []AbsVal
+	env bool
+}
+
+func (s *absState) clone() absState {
+	c := *s
+	if s.y != nil {
+		c.y = append([]AbsVal(nil), s.y...)
+	}
+	return c
+}
+
+func (s *absState) equal(o *absState) bool {
+	if s.x != o.x || s.env != o.env || len(s.y) != len(o.y) {
+		return false
+	}
+	for i := range s.y {
+		if s.y[i] != o.y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// join merges o into s elementwise. Mismatched environment shapes
+// (only possible in code the verifier already rejects) collapse to
+// "no environment", whose reads conservatively return AbsAny.
+func (s *absState) join(o *absState) {
+	for i := range s.x {
+		s.x[i] |= o.x[i]
+	}
+	if !s.env || !o.env || len(s.y) != len(o.y) {
+		s.env = false
+		s.y = nil
+		return
+	}
+	for i := range s.y {
+		s.y[i] |= o.y[i]
+	}
+}
+
+// getX/setX access the X registers with bounds protection: encoded
+// words straight off a fuzzed or corrupted image can carry register
+// numbers beyond the file (the verifier reports them, but the image
+// analyzer must stay robust without it). An out-of-range read is
+// AbsAny; an out-of-range write is dropped.
+func (s *absState) getX(r kcmisa.Reg) AbsVal {
+	if int(r) < len(s.x) {
+		return s.x[r]
+	}
+	return AbsAny
+}
+
+func (s *absState) setX(r kcmisa.Reg, v AbsVal) {
+	if int(r) < len(s.x) {
+		s.x[r] = v
+	}
+}
+
+func (s *absState) getY(n int) AbsVal {
+	if s.env && n >= 0 && n < len(s.y) {
+		return s.y[n]
+	}
+	return AbsAny
+}
+
+func (s *absState) setY(n int, v AbsVal) {
+	if s.env && n >= 0 && n < len(s.y) {
+		s.y[n] = v
+	}
+}
+
+// widenUnify applies the aliasing rule: a unification can bind any
+// variable reachable through the heap, so every possibly-unbound
+// value in the register file and the environment degrades to AbsAny.
+func (s *absState) widenUnify() {
+	for i, v := range s.x {
+		if v.MayUnbound() {
+			s.x[i] = AbsAny
+		}
+	}
+	for i, v := range s.y {
+		if v.MayUnbound() {
+			s.y[i] = AbsAny
+		}
+	}
+}
+
+// killCall is the register state after a call or escape returns: no X
+// register survives, and the callee may have bound any variable held
+// in a permanent slot.
+func (s *absState) killCall() {
+	for i := range s.x {
+		s.x[i] = AbsAny
+	}
+	for i, v := range s.y {
+		if v.MayUnbound() {
+			s.y[i] = AbsAny
+		}
+	}
+}
+
+// unifiesHeap reports whether executing the instruction can bind
+// existing variables through unification (the widening trigger).
+func unifiesHeap(op kcmisa.Op) bool {
+	switch op {
+	case kcmisa.GetValX, kcmisa.GetConst, kcmisa.GetNil, kcmisa.GetList,
+		kcmisa.GetStruct, kcmisa.UnifyValX, kcmisa.UnifyLocX,
+		kcmisa.UnifyValY, kcmisa.UnifyLocY, kcmisa.UnifyConst,
+		kcmisa.UnifyNil, kcmisa.UnifyList, kcmisa.UnifyRegs, kcmisa.Builtin:
+		return true
+	}
+	return false
+}
+
+// callSite is one call or execute instruction with the abstract
+// argument vector flowing into it.
+type callSite struct {
+	index  int // instruction index within the unit
+	target int // absolute code-space address (linked L operand)
+	arity  int
+	args   []AbsVal
+	tail   bool
+}
+
+// modeInfo is the result of the intra-predicate abstract
+// interpretation: the stable per-block entry states, the state at
+// every switch and call instruction, and the outgoing call sites.
+type modeInfo struct {
+	g       *cfg
+	in      []absState // per block, at block entry
+	seen    []bool     // block visited by the fixpoint
+	atInstr map[int]absState
+	calls   []callSite
+	work    []int
+	queued  []bool
+}
+
+// stepAbs applies one instruction's abstract transfer function.
+func stepAbs(s *absState, in kcmisa.Instr) {
+	if unifiesHeap(in.Op) {
+		s.widenUnify()
+	}
+	switch in.Op {
+	case kcmisa.GetVarX:
+		s.setX(in.R1, s.getX(in.R2))
+	case kcmisa.GetConst, kcmisa.GetNil:
+		s.setX(in.R2, AbsAtomic)
+	case kcmisa.GetList, kcmisa.GetStruct:
+		s.setX(in.R2, AbsStruct)
+	case kcmisa.GetValX:
+		v := unifyAbs(s.getX(in.R1), s.getX(in.R2))
+		s.setX(in.R1, v)
+		s.setX(in.R2, v)
+	case kcmisa.UnifyVarX:
+		// Read mode grabs an arbitrary subterm, write mode a fresh
+		// variable: nothing is known either way.
+		s.setX(in.R1, AbsAny)
+	case kcmisa.UnifyVarY:
+		s.setY(in.N, AbsAny)
+	case kcmisa.PutVarX:
+		// The only trusted producer of a definitely-unbound value.
+		s.setX(in.R1, AbsUnbound)
+		s.setX(in.R2, AbsUnbound)
+	case kcmisa.PutVarY:
+		s.setY(in.N, AbsUnbound)
+		s.setX(in.R2, AbsUnbound)
+	case kcmisa.PutValX:
+		s.setX(in.R2, s.getX(in.R1))
+	case kcmisa.PutValY, kcmisa.PutUnsafeY:
+		s.setX(in.R2, s.getY(in.N))
+	case kcmisa.PutConst, kcmisa.PutNil:
+		s.setX(in.R2, AbsAtomic)
+	case kcmisa.PutList, kcmisa.PutStruct:
+		s.setX(in.R2, AbsStruct)
+	case kcmisa.MoveXY:
+		s.setY(in.N, s.getX(in.R1))
+	case kcmisa.MoveYX:
+		s.setX(in.R1, s.getY(in.N))
+	case kcmisa.LoadConst:
+		s.setX(in.R1, AbsAtomic)
+	case kcmisa.Add, kcmisa.Sub, kcmisa.Mul, kcmisa.Div, kcmisa.Mod,
+		kcmisa.Rem, kcmisa.Band, kcmisa.Bor, kcmisa.Bxor, kcmisa.Shl,
+		kcmisa.Shr, kcmisa.MinOp, kcmisa.MaxOp:
+		// The operands dereferenced to integers or the instruction
+		// failed: the fall-through path may narrow them.
+		s.setX(in.R1, AbsAtomic)
+		s.setX(in.R2, AbsAtomic)
+		s.setX(in.R3, AbsAtomic)
+	case kcmisa.Abs:
+		s.setX(in.R1, AbsAtomic)
+		s.setX(in.R3, AbsAtomic)
+	case kcmisa.CmpLt, kcmisa.CmpLe, kcmisa.CmpGt, kcmisa.CmpGe,
+		kcmisa.CmpEq, kcmisa.CmpNe:
+		s.setX(in.R1, AbsAtomic)
+		s.setX(in.R2, AbsAtomic)
+	case kcmisa.TestVar:
+		// Dereferences to a variable right now; an alias may bind it
+		// later, which the widening rule accounts for.
+		s.setX(in.R1, AbsUnbound)
+	case kcmisa.TestNonvar:
+		if v := s.getX(in.R1) &^ absUnboundBit; v != AbsBottom {
+			s.setX(in.R1, v)
+		} else {
+			s.setX(in.R1, AbsBound)
+		}
+	case kcmisa.TestAtom, kcmisa.TestInteger, kcmisa.TestAtomic:
+		s.setX(in.R1, AbsAtomic)
+	case kcmisa.UnifyRegs:
+		v := unifyAbs(s.getX(in.R1), s.getX(in.R2))
+		s.setX(in.R1, v)
+		s.setX(in.R2, v)
+	case kcmisa.Allocate:
+		s.env = true
+		s.y = make([]AbsVal, in.N)
+		for i := range s.y {
+			s.y[i] = AbsAny // uninitialised slots: the verifier's problem
+		}
+	case kcmisa.Deallocate:
+		s.env = false
+		s.y = nil
+	case kcmisa.Builtin:
+		s.killCall()
+	case kcmisa.Call, kcmisa.Execute:
+		s.killCall()
+	}
+}
+
+// entryState builds the abstract state at predicate entry for the
+// given entry mode; registers beyond the arity hold garbage.
+func entryState(arity int, entry []AbsVal) absState {
+	var s absState
+	for i := range s.x {
+		s.x[i] = AbsAny
+	}
+	for i := 0; i < arity && i+1 < kcmisa.NumRegs; i++ {
+		v := AbsAny
+		if i < len(entry) && entry[i] != AbsBottom {
+			v = entry[i]
+		}
+		s.x[i+1] = v
+	}
+	return s
+}
+
+// altState is the abstract state delivered along a backtracking edge:
+// the choice point (or shadow registers) restores the argument
+// registers saved when the alternative was armed and the environment
+// current at that time. The saved argument values are approximated as
+// AbsAny — sound for hand-written code that scribbles on argument
+// registers before the neck — while the environment is taken from the
+// arming site, which the machine restores exactly.
+func altState(arming *absState) absState {
+	s := arming.clone()
+	for i := range s.x {
+		s.x[i] = AbsAny
+	}
+	return s
+}
+
+// analyzeModes runs the abstract interpretation over one unit with
+// the given entry mode. The unit must have valid intra-unit labels
+// (ui.bad clear). maxModeSteps bounds the block fixpoint defensively;
+// the lattice is finite so the bound is unreachable in practice, but
+// fuzzed images get a guaranteed exit with every state widened.
+const maxModeSteps = 1 << 16
+
+func analyzeModes(u *Unit, entry []AbsVal) *modeInfo {
+	g := u.buildCFG()
+	g.connect()
+	mi := &modeInfo{
+		g:       g,
+		in:      make([]absState, len(g.blocks)),
+		seen:    make([]bool, len(g.blocks)),
+		atInstr: map[int]absState{},
+	}
+	if len(g.blocks) == 0 {
+		return mi
+	}
+	mi.in[0] = entryState(u.Arity, entry)
+	mi.seen[0] = true
+
+	// propagate joins a state into a block's entry, returning whether
+	// it changed.
+	propagate := func(bi int, s *absState) bool {
+		if !mi.seen[bi] {
+			mi.in[bi] = s.clone()
+			mi.seen[bi] = true
+			return true
+		}
+		before := mi.in[bi].clone()
+		mi.in[bi].join(s)
+		return !mi.in[bi].equal(&before)
+	}
+
+	// walk executes one block from its entry state; emit, when
+	// non-nil, receives the state before each instruction.
+	walk := func(bi int, emit func(idx int, s *absState)) {
+		b := &g.blocks[bi]
+		s := mi.in[bi].clone()
+		for idx := b.start; idx < b.end; idx++ {
+			if emit != nil {
+				emit(idx, &s)
+			}
+			stepAbs(&s, u.Code[idx])
+		}
+		// Deliver to successors. The alternative edge restores the
+		// state saved at the arming instruction, not the fall-out
+		// state.
+		for _, e := range b.succs {
+			out := s
+			if e.kind == edgeAlt {
+				out = altState(&s)
+			}
+			if propagate(e.to, &out) {
+				mi.dirty(e.to)
+			}
+		}
+	}
+
+	// Worklist fixpoint.
+	mi.work = []int{0}
+	mi.queued = make([]bool, len(g.blocks))
+	mi.queued[0] = true
+	steps := 0
+	for len(mi.work) > 0 {
+		bi := mi.work[len(mi.work)-1]
+		mi.work = mi.work[:len(mi.work)-1]
+		mi.queued[bi] = false
+		walk(bi, nil)
+		if steps++; steps > maxModeSteps {
+			// Defensive exit: widen everything and stop.
+			for i := range mi.in {
+				for r := range mi.in[i].x {
+					mi.in[i].x[r] = AbsAny
+				}
+				mi.in[i].env = false
+				mi.in[i].y = nil
+			}
+			break
+		}
+	}
+
+	// One stable pass collecting per-instruction states and call
+	// sites.
+	for bi := range g.blocks {
+		if !mi.seen[bi] {
+			continue
+		}
+		walk(bi, func(idx int, s *absState) {
+			in := u.Code[idx]
+			switch in.Op {
+			case kcmisa.SwitchOnTerm, kcmisa.SwitchOnConst, kcmisa.SwitchOnStruct:
+				mi.atInstr[idx] = s.clone()
+			case kcmisa.Call, kcmisa.Execute:
+				arity := CallArity(in)
+				args := make([]AbsVal, 0, arity)
+				for a := 1; a <= arity && a < kcmisa.NumRegs; a++ {
+					args = append(args, s.x[a])
+				}
+				mi.calls = append(mi.calls, callSite{
+					index: idx, target: in.L, arity: arity, args: args,
+					tail: in.Op == kcmisa.Execute,
+				})
+			}
+		})
+	}
+	return mi
+}
+
+// dirty re-queues a block on the fixpoint worklist.
+func (mi *modeInfo) dirty(bi int) {
+	if mi.queued == nil || mi.queued[bi] {
+		return
+	}
+	mi.queued[bi] = true
+	mi.work = append(mi.work, bi)
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// OracleViolation is one observed contradiction of a determinism
+// claim: a cp_restore event resumed inside a predicate the analyzer
+// classified Det.
+type OracleViolation struct {
+	Pred   string // the predicate claimed deterministic
+	Resume uint32 // the resumption code address of the restored choice point
+	Seq    uint64 // event sequence number
+}
+
+func (v OracleViolation) String() string {
+	return fmt.Sprintf("seq %d: cp_restore resumed at %d inside %s, which is classified det",
+		v.Seq, v.Resume, v.Pred)
+}
+
+// Oracle is a trace hook holding the whole-image analyzer to its
+// determinism claims: Det means "no surviving choice point on any
+// path", so no deep fail may ever restore a choice point whose
+// resumption address lies inside a Det predicate. Shallow fails are
+// deliberately not checked — retrying clauses through the shadow
+// registers is exactly what the KCM's delayed choice points make
+// cheap, and a Det predicate may do it freely.
+type Oracle struct {
+	facts      *ImageFacts
+	violations []OracleViolation
+	restores   uint64
+}
+
+// NewOracle creates an oracle checking the given facts.
+func NewOracle(f *ImageFacts) *Oracle { return &Oracle{facts: f} }
+
+// Emit consumes one trace event.
+func (o *Oracle) Emit(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KCPRestore:
+		o.restores++
+		resume := uint32(ev.Arg)
+		pf, ok := o.facts.PredAt(resume)
+		if !ok {
+			return // bootstrap choice point or external code
+		}
+		if pf.Det == Det {
+			o.violations = append(o.violations, OracleViolation{
+				Pred: pf.Name, Resume: resume, Seq: ev.Seq,
+			})
+		}
+	default:
+		// Only deep fails are visible to the soundness claim.
+	}
+}
+
+// Violations returns the observed contradictions, nil when the run
+// upheld every claim.
+func (o *Oracle) Violations() []OracleViolation { return o.violations }
+
+// Restores returns how many cp_restore events the oracle examined —
+// a test that saw zero restores proved nothing.
+func (o *Oracle) Restores() uint64 { return o.restores }

@@ -41,6 +41,10 @@ type Module struct {
 	// QueryVars maps each named variable of the compiled query to the
 	// environment slot holding it when the machine halts.
 	QueryVars map[term.Var]int
+	// Warnings holds non-fatal findings: predicates unreachable from
+	// any entry point (see reach.go). Refreshed by CompileProgram and
+	// again by CompileQuery.
+	Warnings []string
 }
 
 // QueryPI is the entry predicate created by CompileQuery.
@@ -113,6 +117,7 @@ func (c *Compiler) CompileProgram(clauses []term.Term) (*Module, error) {
 		m.Preds[pi] = p
 		m.Order = append(m.Order, pi)
 	}
+	warnUnreachable(m)
 	return m, nil
 }
 
@@ -153,6 +158,8 @@ func (c *Compiler) CompileQuery(m *Module, goal term.Term) error {
 	m.Preds[QueryPI] = p
 	m.Order = append(m.Order, QueryPI)
 	m.QueryVars = qv
+	m.Warnings = nil
+	warnUnreachable(m)
 	return nil
 }
 

@@ -1,0 +1,83 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+)
+
+// Unreachable-predicate warnings. The compiler sees the module before
+// linking, when call targets are still symbolic, so the call graph is
+// exact over source predicates: an edge per Call/Execute Proc. Every
+// predicate no in-module clause calls is a root — it is presumed part
+// of the module's interface (a consulted program may be called from
+// anywhere) — so only predicates orphaned inside call cycles warn.
+// Self-recursion does not count as being called: a library predicate
+// like append/3 is its own only caller and is still interface.
+// A module using the call/1 escape gets no warnings at all: the
+// meta-call can reach any predicate whose functor exists at runtime.
+
+// warnUnreachable populates m.Warnings with one line per predicate
+// that no root can reach.
+func warnUnreachable(m *Module) {
+	calls := map[term.Indicator][]term.Indicator{}
+	meta := false
+	for pi, p := range m.Preds {
+		for _, in := range p.Code {
+			switch in.Op {
+			case kcmisa.Call, kcmisa.Execute:
+				if in.Proc.Name != "" {
+					calls[pi] = append(calls[pi], in.Proc)
+				}
+			case kcmisa.Builtin:
+				if in.N == kcmisa.BICall {
+					meta = true
+				}
+			}
+		}
+	}
+	if meta {
+		return
+	}
+	var roots []term.Indicator
+	called := map[term.Indicator]bool{}
+	for from, outs := range calls {
+		for _, t := range outs {
+			if t != from {
+				called[t] = true
+			}
+		}
+	}
+	for pi := range m.Preds {
+		if !called[pi] {
+			roots = append(roots, pi)
+		}
+	}
+	reach := map[term.Indicator]bool{}
+	var visit func(pi term.Indicator)
+	visit = func(pi term.Indicator) {
+		if reach[pi] {
+			return
+		}
+		reach[pi] = true
+		for _, t := range calls[pi] {
+			visit(t)
+		}
+	}
+	for _, pi := range roots {
+		visit(pi)
+	}
+	var dead []string
+	for pi := range m.Preds {
+		if !reach[pi] {
+			dead = append(dead, pi.String())
+		}
+	}
+	sort.Strings(dead)
+	for _, name := range dead {
+		m.Warnings = append(m.Warnings,
+			fmt.Sprintf("predicate %s is unreachable from any entry point", name))
+	}
+}

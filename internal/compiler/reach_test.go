@@ -1,0 +1,93 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/reader"
+)
+
+func TestWarnUnreachableOrphanCycle(t *testing.T) {
+	// a/0 and b/0 only call each other; main/0 and helper/0 form a
+	// live chain rooted at the uncalled main/0.
+	m := compileSrc(t, `
+main :- helper.
+helper.
+a :- b.
+b :- a.
+`)
+	if len(m.Warnings) != 2 {
+		t.Fatalf("warnings = %v, want two", m.Warnings)
+	}
+	joined := strings.Join(m.Warnings, "\n")
+	for _, pred := range []string{"a/0", "b/0"} {
+		if !strings.Contains(joined, pred) {
+			t.Errorf("missing warning for %s: %v", pred, m.Warnings)
+		}
+	}
+	if strings.Contains(joined, "helper/0") {
+		t.Errorf("helper/0 wrongly flagged: %v", m.Warnings)
+	}
+}
+
+func TestWarnUnreachableInterfacePreds(t *testing.T) {
+	// Library mode: predicates without callers are interface roots, so
+	// a module of independent predicates warns about nothing.
+	m := compileSrc(t, `
+p(1).
+q(2).
+r(X) :- p(X).
+`)
+	if len(m.Warnings) != 0 {
+		t.Fatalf("warnings = %v, want none", m.Warnings)
+	}
+}
+
+func TestWarnUnreachableSelfRecursion(t *testing.T) {
+	// append/3 is its own only caller; self-recursion must not demote
+	// it from interface root to orphan cycle.
+	m := compileSrc(t, `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+len([], z).
+len([_|T], s(N)) :- len(T, N).
+`)
+	if len(m.Warnings) != 0 {
+		t.Fatalf("warnings = %v, want none for self-recursive library predicates", m.Warnings)
+	}
+}
+
+func TestWarnUnreachableMetaCallSuppresses(t *testing.T) {
+	// call/1 can reach anything: no warnings, even for the orphan
+	// cycle.
+	m := compileSrc(t, `
+main(G) :- call(G).
+a :- b.
+b :- a.
+`)
+	if len(m.Warnings) != 0 {
+		t.Fatalf("warnings = %v, want none under meta-call", m.Warnings)
+	}
+}
+
+func TestWarnUnreachableRefreshedByQuery(t *testing.T) {
+	m := compileSrc(t, `
+a :- b.
+b :- a.
+p(1).
+`)
+	if len(m.Warnings) != 2 {
+		t.Fatalf("program warnings = %v, want two", m.Warnings)
+	}
+	goal, err := reader.ParseTerm("p(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m.Syms)
+	if err := c.CompileQuery(m, goal); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Warnings) != 2 {
+		t.Fatalf("post-query warnings = %v, want the orphan cycle still flagged", m.Warnings)
+	}
+}

@@ -1,0 +1,87 @@
+package machine
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// Whole-image facts (see internal/analysis). The machine keeps a
+// host-side shadow of its code space so the analyzer can run without
+// touching the simulated memory system: computing or refreshing facts
+// is untimed and perturbs no cycle or cache counter. The shadow is
+// maintained by every path that writes code — the boot image load,
+// LoadIncremental, LoadBatch and PatchCode — and the facts artifact
+// is computed lazily and invalidated range-wise, so a loader that
+// never asks for facts pays nothing beyond the copy.
+
+// shadowWrite mirrors a code-space write into the host-side shadow,
+// growing it (zero-filled, which decodes as noop) across the
+// page-alignment gaps of batch loads.
+func (m *Machine) shadowWrite(base uint32, code []word.Word) {
+	end := int(base) + len(code)
+	for len(m.codeShadow) < end {
+		m.codeShadow = append(m.codeShadow, 0)
+	}
+	copy(m.codeShadow[base:end], code)
+}
+
+// invalidateFacts marks the code range [lo, hi) dirty for the facts
+// artifact.
+func (m *Machine) invalidateFacts(lo, hi uint32) {
+	if !m.factsDirty {
+		m.factsDirty = true
+		m.factsLo, m.factsHi = lo, hi
+		return
+	}
+	if lo < m.factsLo {
+		m.factsLo = lo
+	}
+	if hi > m.factsHi {
+		m.factsHi = hi
+	}
+}
+
+// bootEntries snapshots the machine's predicate entry table (the boot
+// image's entries plus RegisterPred additions).
+func (m *Machine) bootEntries() map[term.Indicator]uint32 {
+	out := make(map[term.Indicator]uint32, len(m.entries))
+	for pi, addr := range m.entries {
+		out[pi] = addr
+	}
+	return out
+}
+
+// RegisterPred enters a predicate into the machine's entry table —
+// making it callable through the meta-call escape and visible to the
+// whole-image analyzer as an entry point. Incrementally loaded code
+// belongs to no predicate until registered.
+func (m *Machine) RegisterPred(pi term.Indicator, addr uint32) {
+	m.entries[pi] = addr
+	idx := m.syms.Intern(pi.Name)
+	m.preds[uint64(idx)<<8|uint64(pi.Arity&0xff)] = addr
+	m.invalidateFacts(addr, m.codeTop)
+}
+
+// Facts returns the whole-image analysis artifact for the machine's
+// code space, rooted at the boot table (every registered predicate is
+// externally callable, via boot or the call/1 escape). The artifact
+// is cached; code-space writes invalidate the touched range, and the
+// next call incrementally recomputes the affected strongly-connected
+// components of the call graph. The computation is host-side only:
+// simulated cycle and cache counters are untouched.
+func (m *Machine) Facts() *analysis.ImageFacts {
+	entries := m.bootEntries()
+	roots := make([]term.Indicator, 0, len(entries))
+	for pi := range entries {
+		roots = append(roots, pi)
+	}
+	switch {
+	case m.facts == nil:
+		m.facts = analysis.AnalyzeImage(m.codeShadow, 0, entries, roots)
+	case m.factsDirty:
+		m.facts = m.facts.Update(m.codeShadow, 0, entries, roots, m.factsLo, m.factsHi)
+	}
+	m.factsDirty = false
+	return m.facts
+}

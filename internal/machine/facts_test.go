@@ -1,0 +1,142 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/reader"
+	"repro/internal/term"
+)
+
+// bootImage compiles a small program+query into a bootable image.
+func factsImage(t *testing.T, src, query string) (*asm.Image, *compiler.Compiler, *compiler.Module) {
+	t.Helper()
+	c := compiler.New(nil)
+	mod := compileModule(t, c, src)
+	goal, err := reader.ParseTerm(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompileQuery(mod, goal); err != nil {
+		t.Fatal(err)
+	}
+	im, err := asm.Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im, c, mod
+}
+
+func TestMachineFacts(t *testing.T) {
+	im, _, _ := factsImage(t, `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+`, "app([a], [b], X).")
+	m, err := New(im, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Facts()
+	if f == nil {
+		t.Fatal("nil facts")
+	}
+	pf := f.Pred(term.Ind("app", 3))
+	if pf == nil || !pf.Reachable {
+		t.Fatalf("app/3 facts missing or dead: %+v", pf)
+	}
+	if len(pf.Mode) != 3 {
+		t.Fatalf("app/3 mode = %v", pf.Mode)
+	}
+	// Clean cache: the same pointer comes back.
+	if m.Facts() != f {
+		t.Error("Facts recomputed without any code write")
+	}
+}
+
+func TestMachineFactsIncrementalInvalidation(t *testing.T) {
+	im, c, _ := factsImage(t, `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+`, "true.")
+	m, err := New(im, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := m.Facts()
+	if f1.Pred(term.Ind("double", 2)) != nil {
+		t.Fatal("double/2 present before load")
+	}
+
+	inc := compileModule(t, c, `
+double(L, D) :- app(L, L, D).
+`)
+	q, err := reader.ParseTerm("double([a], D).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompileQuery(inc, q); err != nil {
+		t.Fatal(err)
+	}
+	im2, err := asm.LinkAt(inc, m.CodeTop(), im.Entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.LoadIncremental(im2.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := im2.Entry(term.Ind("double", 2))
+	m.RegisterPred(term.Ind("double", 2), entry)
+
+	f2 := m.Facts()
+	if f2 == f1 {
+		t.Fatal("facts not invalidated by incremental load")
+	}
+	df := f2.Pred(term.Ind("double", 2))
+	if df == nil || !df.Reachable {
+		t.Fatalf("double/2 missing after load: %+v", df)
+	}
+	if df.Start < base {
+		t.Fatalf("double/2 start %d below load base %d", df.Start, base)
+	}
+	// app/3 predates the load and sits in a clean component: its facts
+	// survive the incremental update by pointer.
+	if f2.Pred(term.Ind("app", 3)) != f1.Pred(term.Ind("app", 3)) {
+		t.Error("app/3 facts recomputed by an update that did not touch it")
+	}
+	// The machine still runs after all the analysis bookkeeping.
+	res, err := m.Run(func() uint32 { e, _ := im2.Entry(compiler.QueryPI); return e }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("query failed")
+	}
+}
+
+// TestVerdictCachePoolPath asserts the loader goes through the verdict
+// cache: constructing two machines from one image re-checks the same
+// block and the second check must be a hit.
+func TestVerdictCachePoolPath(t *testing.T) {
+	im, _, _ := factsImage(t, `
+p(1).
+`, "p(X).")
+	analysis.ResetVerdictCache()
+	defer analysis.ResetVerdictCache()
+	if _, err := New(im, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := analysis.VerdictCacheStats()
+	if _, err := New(im, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := analysis.VerdictCacheStats()
+	if misses != missesBefore {
+		t.Fatalf("second construction missed the cache (misses %d -> %d)", missesBefore, misses)
+	}
+	if hits == 0 {
+		t.Fatal("second construction produced no cache hit")
+	}
+}

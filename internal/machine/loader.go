@@ -29,9 +29,12 @@ func (e *CodeError) Error() string {
 }
 
 // checkCode validates an encoded block before any word reaches the
-// code space.
+// code space. Verification goes through the analyzer's verdict cache:
+// the compile→load path checks every block twice, and a machine pool
+// constructs each member from the same image, so a block already
+// vetted at this placement is a hash lookup.
 func checkCode(code []word.Word, base, codeTop uint32) error {
-	if ds := analysis.CheckEncoded(code, base, codeTop); len(ds) > 0 {
+	if ds := analysis.CheckEncodedCached(code, base, codeTop); len(ds) > 0 {
 		return &CodeError{Base: base, Diags: ds}
 	}
 	return nil
@@ -67,6 +70,8 @@ func (m *Machine) LoadIncremental(code []word.Word) (uint32, error) {
 		}
 	}
 	m.codeTop += uint32(len(code))
+	m.shadowWrite(base, code)
+	m.invalidateFacts(base, m.codeTop)
 	m.growPredecode(m.codeTop)
 	m.invalidatePredecode(base, m.codeTop)
 	return base, nil
@@ -121,6 +126,8 @@ func (m *Machine) LoadBatch(code []word.Word) (uint32, error) {
 		m.cmmu.Map(base+p*mmu.PageWords, frame)
 	}
 	m.codeTop = base + uint32(len(code))
+	m.shadowWrite(base, code)
+	m.invalidateFacts(base, m.codeTop)
 	m.growPredecode(m.codeTop)
 	m.invalidatePredecode(base, m.codeTop)
 	return base, nil
@@ -155,6 +162,8 @@ func (m *Machine) PatchCode(addr uint32, code []word.Word) error {
 			return fmt.Errorf("machine: patch: %w", err)
 		}
 	}
+	m.shadowWrite(addr, code)
+	m.invalidateFacts(addr, uint32(end))
 	m.invalidatePredecode(addr, uint32(end))
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/cache"
 	"repro/internal/kcmisa"
@@ -291,6 +292,20 @@ type Machine struct {
 	// preds is the runtime predicate table for the meta-call escape:
 	// (atom index, arity) -> code entry.
 	preds map[uint64]uint32
+
+	// Whole-image facts support (see facts.go): codeShadow is a
+	// host-side copy of the code space so the analyzer never reads
+	// through the simulated memory system; facts is the cached
+	// artifact, invalidated range-wise by code-space writes.
+	codeShadow []word.Word
+	facts      *analysis.ImageFacts
+	factsLo    uint32
+	factsHi    uint32
+	factsDirty bool
+	// entries is the full predicate entry table (the boot image's,
+	// plus RegisterPred additions). preds above only covers predicates
+	// whose name atom is interned; the analyzer wants all of them.
+	entries map[term.Indicator]uint32
 }
 
 // New builds a machine and loads the linked image into its code
@@ -351,7 +366,9 @@ func New(im *asm.Image, cfg Config) (*Machine, error) {
 	}
 	m.fetch = m.fetchCode
 	m.preds = map[uint64]uint32{}
+	m.entries = make(map[term.Indicator]uint32, len(im.Entries))
 	for pi, a := range im.Entries {
+		m.entries[pi] = a
 		if idx, ok := im.Syms.Lookup(pi.Name); ok {
 			m.preds[uint64(idx)<<8|uint64(pi.Arity)] = a
 		}
@@ -374,6 +391,7 @@ func New(im *asm.Image, cfg Config) (*Machine, error) {
 		}
 	}
 	m.codeTop = uint32(len(im.Code))
+	m.shadowWrite(0, im.Code)
 	m.growPredecode(m.codeTop)
 	if h := cfg.Hook; h != nil {
 		m.hook = h

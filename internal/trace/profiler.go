@@ -164,6 +164,9 @@ func (p *Profiler) Emit(ev Event) {
 		p.gc += ev.Cycles
 	case KReset:
 		p.Reset()
+	default:
+		// Memory-system and session events carry no attributable
+		// cycles of their own (their cost rides on the owning KInstr).
 	}
 }
 

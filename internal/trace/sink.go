@@ -158,6 +158,8 @@ func (j *JSONL) Emit(ev Event) {
 	switch ev.Kind {
 	case KInstr, KCall, KExecute, KProceed:
 		fmt.Fprintf(w, `,"op":%q`, ev.Op.String())
+	default:
+		// Other kinds carry no opcode.
 	}
 	fmt.Fprintf(w, `,"p":%d`, ev.P)
 	if ev.Addr != 0 {

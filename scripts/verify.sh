@@ -64,8 +64,11 @@ END {
     exit bad
 }' "$covprofile"
 
-echo '== kcmvet'
-go run ./cmd/kcmvet -bench examples/*/main.go
+echo '== kcmvet (strict: analyzer warnings are errors)'
+go run ./cmd/kcmvet -strict -bench examples/*/main.go
+
+echo '== kcmlint (host-source lint: sentinel errors, hot-loop allocs, Kind switches)'
+go run ./cmd/kcmlint .
 
 echo '== host-bench smoke (warm nrev must run allocation-free)'
 out=$(go test -run '^$' -bench '^BenchmarkHostNrev$' -benchtime 1x -benchmem .)
