@@ -90,18 +90,22 @@ func (m *Machine) steps(limit uint64) uint64 {
 	return limit
 }
 
+func (m *Machine) runFused(n int) {
+	m.xs = make([]int, n) // flagged: fused handler bodies are hot-loop code
+}
+
 func (m *Machine) other() {
 	_ = make([]int, 4) // allocation outside steps: fine
 }
 `,
 	})
-	for _, want := range []string{"append call", "address of composite literal", "go statement", "function literal"} {
+	for _, want := range []string{"append call", "address of composite literal", "go statement", "function literal", "make call in runFused"} {
 		if !hasFinding(fs, want) {
 			t.Errorf("missing %q finding: %v", want, fs)
 		}
 	}
-	if len(fs) != 4 {
-		t.Fatalf("got %d findings, want 4: %v", len(fs), fs)
+	if len(fs) != 5 {
+		t.Fatalf("got %d findings, want 5: %v", len(fs), fs)
 	}
 }
 

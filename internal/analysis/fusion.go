@@ -33,6 +33,30 @@ type License struct {
 	calleeAt  int    // absolute target address, -1 when external
 }
 
+// The lowering contract between licenses and a host-side translation
+// tier (internal/machine's fusion tier): a fused handler may be
+// installed for a get_run only if every decoded component satisfies
+// GetRunOp, and for a put_call only if every component but the last
+// satisfies PutRunOp and the last is call or execute — exactly the
+// class predicates CheckLicenses re-derives. An installer that
+// re-checks the classes against its own decode of the code words
+// trusts only the decoder, never the analyzer; a component that fails
+// its class check voids the license.
+
+// GetRunOp reports membership in the head-unification run class
+// (the component class of a get_run license).
+func GetRunOp(op kcmisa.Op) bool { return getRunOp(op) }
+
+// PutRunOp reports membership in the goal-construction run class
+// (the non-terminal component class of a put_call license).
+func PutRunOp(op kcmisa.Op) bool { return putRunOp(op) }
+
+// CalleeTarget returns the resolved code address of a put_call
+// license's callee, or -1 when the callee is external or the license
+// is a get_run. An installer specialising on CalleeDet should check
+// that the terminal instruction's target equals this address.
+func (l License) CalleeTarget() int { return l.calleeAt }
+
 // getRunOp reports membership in the head-unification run class.
 func getRunOp(op kcmisa.Op) bool {
 	switch op {

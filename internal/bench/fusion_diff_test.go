@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// The fusion differential harness: superinstruction fusion is a
+// host-side translation tier, so for every suite program a fused run
+// and an unfused run must be indistinguishable in everything
+// simulated — solutions and output, instruction/cycle counters, cache
+// and MMU statistics, GC activity, and the structured trace stream.
+// Only the Fusion block of the result (the tier's own counters) may
+// differ.
+
+// runPair executes one suite program warm with fusion on and off.
+func runPair(t *testing.T, p Program) (on, off RunResult) {
+	t.Helper()
+	on, err := RunKCMWarm(p, true, machine.Config{Fusion: machine.On})
+	if err != nil {
+		t.Fatalf("%s fused: %v", p.Name, err)
+	}
+	off, err = RunKCMWarm(p, true, machine.Config{Fusion: machine.Off})
+	if err != nil {
+		t.Fatalf("%s unfused: %v", p.Name, err)
+	}
+	return on, off
+}
+
+func TestFusionDifferentialSuite(t *testing.T) {
+	for _, p := range Suite {
+		t.Run(p.Name, func(t *testing.T) {
+			on, off := runPair(t, p)
+			if on.Success != off.Success || on.Output != off.Output {
+				t.Fatalf("solution diverged: fused (%v, %q) vs unfused (%v, %q)",
+					on.Success, on.Output, off.Success, off.Output)
+			}
+			if on.Stats != off.Stats {
+				t.Errorf("machine counters diverged:\nfused   %+v\nunfused %+v", on.Stats, off.Stats)
+			}
+			if a, b := on.Result.DCache, off.Result.DCache; a != b {
+				t.Errorf("data cache stats diverged:\nfused   %+v\nunfused %+v", a, b)
+			}
+			if a, b := on.Result.CCache, off.Result.CCache; a != b {
+				t.Errorf("code cache stats diverged:\nfused   %+v\nunfused %+v", a, b)
+			}
+			if a, b := on.Result.Mem, off.Result.Mem; a != b {
+				t.Errorf("memory stats diverged:\nfused   %+v\nunfused %+v", a, b)
+			}
+			if a, b := on.Result.DataMMU, off.Result.DataMMU; a != b {
+				t.Errorf("mmu stats diverged:\nfused   %+v\nunfused %+v", a, b)
+			}
+			if a, b := on.Result.GC, off.Result.GC; a != b {
+				t.Errorf("gc stats diverged:\nfused   %+v\nunfused %+v", a, b)
+			}
+			if on.Result.Fusion.Runs == 0 {
+				t.Logf("%s: no fused handlers installed (licenses empty) — pair still compared", p.Name)
+			}
+		})
+	}
+}
+
+// TestFusionDifferentialTrace drives the traced twin: the structured
+// event stream of a fused run must be event-for-event identical to an
+// unfused run's, cycles included (runFusedTraced mirrors the traced
+// dispatch loop exactly).
+func TestFusionDifferentialTrace(t *testing.T) {
+	const limit = 200_000
+	for _, p := range Suite {
+		t.Run(p.Name, func(t *testing.T) {
+			recOn := trace.NewRecorder(limit)
+			recOff := trace.NewRecorder(limit)
+			on, err := RunKCMWarm(p, true, machine.Config{Fusion: machine.On, Hook: recOn})
+			if err != nil {
+				t.Fatalf("fused: %v", err)
+			}
+			if _, err := RunKCMWarm(p, true, machine.Config{Fusion: machine.Off, Hook: recOff}); err != nil {
+				t.Fatalf("unfused: %v", err)
+			}
+			a, b := recOn.Events(), recOff.Events()
+			if len(a) != len(b) {
+				t.Fatalf("event count diverged: fused %d vs unfused %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("event %d diverged:\nfused   %s\nunfused %s",
+						i, trace.FormatEvent(a[i], nil), trace.FormatEvent(b[i], nil))
+				}
+			}
+			if on.Result.Fusion.Runs > 0 && on.Result.Fusion.Dispatches == 0 {
+				// The traced twin must actually dispatch through the
+				// handlers for this comparison to mean anything.
+				t.Errorf("%s: handlers installed but never dispatched under trace", p.Name)
+			}
+		})
+	}
+}

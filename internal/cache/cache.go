@@ -82,6 +82,35 @@ func (c *Data) index(va uint32, z word.Zone) uint32 {
 	return va % DataWords
 }
 
+// ReadFast is the inlinable hit path of Read: on a tag match it
+// counts the read and returns the word at zero cost, exactly as Read
+// would. On a miss it counts nothing and returns false — the caller
+// takes the full Read, which recounts the access and runs the fill
+// machinery. Statistics are therefore identical whichever path a
+// caller composes.
+func (c *Data) ReadFast(va uint32, z word.Zone) (word.Word, bool) {
+	ln := &c.lines[c.index(va, z)]
+	if ln.valid && ln.va == va && ln.zone == z {
+		c.stats.Reads++
+		return ln.data, true
+	}
+	return 0, false
+}
+
+// WriteFast is the inlinable hit path of Write: tag match, count,
+// store, mark dirty, zero cost. A miss counts nothing; the caller's
+// full Write recounts and allocates the line.
+func (c *Data) WriteFast(va uint32, z word.Zone, w word.Word) bool {
+	ln := &c.lines[c.index(va, z)]
+	if ln.valid && ln.va == va && ln.zone == z {
+		c.stats.Writes++
+		ln.data = w
+		ln.dirty = true
+		return true
+	}
+	return false
+}
+
 // Read returns the word at virtual address va (zone z), the cost in
 // cycles beyond the single-cycle hit, and any translation error.
 func (c *Data) Read(va uint32, z word.Zone) (word.Word, int, error) {

@@ -238,6 +238,7 @@ func (p *Pool) release(ip *imagePool, m *machine.Machine) {
 		p.mu.Unlock()
 		return
 	}
+	fresh.WarmFusion()
 	ip.free <- fresh
 }
 
@@ -267,6 +268,10 @@ func (p *Pool) acquire(ctx context.Context, im *asm.Image) (*machine.Machine, *i
 			p.mu.Unlock()
 			return nil, nil, err
 		}
+		// Fused handlers are installed at build time, off every query
+		// path: all pool members share the verified image, so the
+		// install work is per machine, not per query.
+		m.WarmFusion()
 		return m, ip, nil
 	}
 	p.mu.Unlock()

@@ -1,0 +1,459 @@
+package machine
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/kcmisa"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// The superinstruction fusion tier: a translation layer above the
+// predecoded code cache. Where predecode removes the per-step decode,
+// fusion removes the per-step dispatch: an analyzer-licensed run of
+// instructions (a head-unification get/unify run, or a goal-setup
+// put run ending in its call/execute) is installed as one fused
+// handler in a per-address table that steps()/stepsTraced() consult
+// before normal dispatch. One handler invocation then replays the
+// whole run — fetch accounting, execution, trace events — without
+// re-entering the fetch-execute loop between components.
+//
+// The correctness contract mirrors predecode's: fusion is a host-side
+// artifact carrying no simulated state. A fused replay must charge
+// exactly the cycles, code-cache reads and data traffic the unfused
+// loop would, instruction for instruction, so cycle pins, kcmbench
+// tables and golden traces stay byte-identical with fusion on or off.
+// The replay rules that make this hold:
+//
+//   - every run component is a single code word (switches are the
+//     only multi-word instructions and are never in a run class), so
+//     the per-component fetch replay is Touch(a,1) until every word
+//     has been observed resident, then a batched NoteReads — the
+//     same collapse predecode performs (predecode.go);
+//   - each component executes through the same exec() the unfused
+//     loop uses, with m.p pre-advanced to the fall-through address,
+//     so binding, failure, trail and error semantics are identical
+//     by construction;
+//   - a component that transfers control (a mid-run failure, or the
+//     terminal call/execute) ends the replay: the licenses prove no
+//     branch target enters a run's interior, so resuming at m.p
+//     through normal dispatch is exactly what the unfused loop does;
+//   - a mid-run fault returns the faulting component's address, and
+//     the caller applies the same overflow-retry (recoverHeap) the
+//     unfused loop applies — re-entry lands on the interior address,
+//     which has no fused entry, so the retried instruction re-runs
+//     alone, re-charging its fetch like an unfused retry;
+//   - a run is only entered when the whole run fits in the remaining
+//     step budget; otherwise the head instruction dispatches alone.
+//     Both machines then suspend at the same instruction boundary.
+//
+// Licenses come from the whole-image analyzer (m.Facts()), but are
+// never trusted: installation re-verifies every license against the
+// raw code words with analysis.CheckLicenses and re-checks each
+// decoded component's op class per the lowering contract
+// (analysis.GetRunOp/PutRunOp). Any diagnostic voids the whole
+// install. Code-space writes (LoadIncremental, LoadBatch, PatchCode)
+// invalidate fused entries range-wise, exactly like predecoded ones.
+
+// fusedRun is one installed handler: the decoded components of a
+// licensed run, keyed in m.fused by the address of its first
+// instruction. Runs are disjoint (get and put classes do not
+// intersect, and runs of one class are maximal or backward-closed),
+// so one entry per head address suffices and interiors are never
+// heads.
+type fusedRun struct {
+	start uint32
+	kind  string // analysis.FuseGetRun or analysis.FusePutCall
+	// det marks a put_call handler specialised on a callee the
+	// analyzer classified deterministic: the simulated work is
+	// identical (the cost model charges the same cycles either way),
+	// but the specialisation is licensed here and reported in
+	// FusionStats, and a hardware superinstruction could use it to
+	// skip the dead choice-point bookkeeping.
+	det bool
+	// allRes: every component word has been observed resident in the
+	// simulated code cache and residency is monotone (image fits the
+	// cache), so the fetch replay collapses to one batched NoteReads.
+	allRes bool
+	instrs []kcmisa.Instr
+}
+
+// FusionStats describes the installed fusion tier and its activity.
+type FusionStats struct {
+	Runs     int // installed fused handlers
+	GetRuns  int // get/unify head-unification handlers
+	PutCalls int // put+call/execute goal-setup handlers
+	DetCalls int // put_call handlers specialised on a det callee
+	Covered  int // component instructions covered by handlers
+
+	Dispatches uint64 // handler invocations since the last ResetStats
+	FusedSteps uint64 // instructions executed through handlers
+}
+
+// FusedRuns returns the number of installed fused handlers.
+func (m *Machine) FusedRuns() int { return m.fusedCount }
+
+// FusionStats assembles the fusion tier's install and activity
+// counters. The install fields are recomputed by scanning the table
+// (cold path); the activity counters reset with ResetStats.
+func (m *Machine) FusionStats() FusionStats {
+	st := FusionStats{
+		Dispatches: m.fuseDispatches,
+		FusedSteps: m.fuseSteps,
+	}
+	for _, f := range m.fused {
+		if f == nil {
+			continue
+		}
+		st.Runs++
+		st.Covered += len(f.instrs)
+		switch f.kind {
+		case analysis.FuseGetRun:
+			st.GetRuns++
+		case analysis.FusePutCall:
+			st.PutCalls++
+			if f.det {
+				st.DetCalls++
+			}
+		}
+	}
+	return st
+}
+
+// WarmFusion verifies and installs every licensed fused handler
+// eagerly, regardless of the hot threshold. The engine pool calls it
+// once per built machine so the first query already dispatches fused;
+// it is also the install path bootstrap takes in eager mode.
+func (m *Machine) WarmFusion() {
+	if !m.fusionOn {
+		return
+	}
+	m.fusedStale = false
+	m.fuseImage(nil)
+}
+
+// fuseInstall is the bootstrap hook: (re)build the fused-entry table
+// when it is stale. In eager mode (threshold 0) every licensed run is
+// installed; in threshold mode only predicates the profiler has
+// already proven hot are, and RunFor re-checks at chunk boundaries as
+// profile cycles accumulate.
+func (m *Machine) fuseInstall() {
+	m.fusedStale = false
+	if m.fuseThreshold == 0 {
+		m.fuseImage(nil)
+	} else if m.prof != nil {
+		m.fuseHot()
+	}
+}
+
+// fuseHot installs handlers for predicates whose profiled cycle count
+// has reached the configured threshold. Called at bootstrap and at
+// RunFor chunk boundaries; the scan is a few dozen compares, and the
+// install machinery only runs when a new predicate crossed the
+// threshold.
+func (m *Machine) fuseHot() {
+	var want map[uint32]bool
+	for i := range m.prof.entries {
+		e := &m.prof.entries[i]
+		if e.cycles >= m.fuseThreshold && !m.fusedPreds[e.start] {
+			if want == nil {
+				want = make(map[uint32]bool)
+			}
+			want[e.start] = true
+		}
+	}
+	if want == nil {
+		return
+	}
+	m.fuseImage(func(pf *analysis.PredFacts) bool { return want[pf.Start] })
+}
+
+// fuseImage computes (or refreshes) the whole-image facts, re-verifies
+// every license against the raw code words, and installs handlers for
+// the predicates the filter accepts (nil accepts all). A single
+// verification diagnostic voids the install: a licenses artifact that
+// fails its own re-derivation is not trusted for any run.
+func (m *Machine) fuseImage(only func(*analysis.PredFacts) bool) {
+	facts := m.Facts()
+	if ds := analysis.CheckLicenses(facts, m.codeShadow[:m.codeTop], 0); len(ds) > 0 {
+		return
+	}
+	m.growFused(m.codeTop)
+	for _, pf := range facts.Preds {
+		if only != nil && !only(pf) {
+			continue
+		}
+		if m.fusedPreds[pf.Start] {
+			continue
+		}
+		m.fusedPreds[pf.Start] = true
+		for _, lic := range pf.Licenses {
+			m.installLicense(lic)
+		}
+	}
+}
+
+// installLicense lowers one verified license into a fused handler:
+// decode each component from the host-side code shadow (untimed) and
+// re-check the lowering contract — single-word components of the
+// licensed op class, a put_call terminal that is call/execute
+// targeting the license's resolved callee. Any mismatch voids the
+// license silently; execution falls back to normal dispatch, which is
+// always correct.
+func (m *Machine) installLicense(lic analysis.License) {
+	if lic.Instrs < 1 || lic.Words != lic.Instrs ||
+		int64(lic.Start)+int64(lic.Instrs) > int64(m.codeTop) {
+		return
+	}
+	ins := make([]kcmisa.Instr, lic.Instrs)
+	det := false
+	for i := range ins {
+		a := lic.Start + uint32(i)
+		if kcmisa.DecodeInto(m.shadowFetch, a, &ins[i]) != 1 {
+			return
+		}
+		op := ins[i].Op
+		last := i == lic.Instrs-1
+		switch lic.Kind {
+		case analysis.FuseGetRun:
+			if !analysis.GetRunOp(op) {
+				return
+			}
+		case analysis.FusePutCall:
+			if last {
+				if op != kcmisa.Call && op != kcmisa.Execute {
+					return
+				}
+				if ins[i].L != lic.CalleeTarget() {
+					return
+				}
+				det = lic.CalleeDet
+			} else if !analysis.PutRunOp(op) {
+				return
+			}
+		default:
+			return
+		}
+	}
+	if m.fused[lic.Start] == nil {
+		m.fusedCount++
+	}
+	m.fused[lic.Start] = &fusedRun{
+		start: lic.Start, kind: lic.Kind, det: det, instrs: ins,
+	}
+	if lic.Instrs > m.fusedMaxInstrs {
+		m.fusedMaxInstrs = lic.Instrs
+	}
+	// Mark the head in the predecode width table so the dispatch loop
+	// finds the handler without probing the sparse fused table every
+	// step (predecode.go). The flag never travels without a width: a
+	// head not yet predecoded is predecoded here, from the same shadow
+	// words, so the w != 0 fast path always holds where the flag is
+	// set. Residency, if already observed, is preserved.
+	if int64(lic.Start) < int64(len(m.pwidth)) {
+		if m.pwidth[lic.Start]&pwWidthMask == 0 {
+			m.pdec[lic.Start] = ins[0]
+			m.pwidth[lic.Start] = 1 | pwFusedHead
+		} else {
+			m.pwidth[lic.Start] |= pwFusedHead
+		}
+	}
+}
+
+// shadowFetch reads a code word from the host-side shadow — the
+// untimed decode source for handler installation. Out-of-range reads
+// return zero, which fails DecodeInto's width check.
+func (m *Machine) shadowFetch(a uint32) word.Word {
+	if int64(a) < int64(len(m.codeShadow)) {
+		return m.codeShadow[a]
+	}
+	return 0
+}
+
+// growFused extends the fused-entry table to cover [0, top),
+// preserving entries. When the image has outgrown the simulated code
+// cache, residency is no longer monotone and every handler's batched
+// fetch replay must fall back to per-component Touch.
+func (m *Machine) growFused(top uint32) {
+	if int64(top) > int64(len(m.fused)) {
+		fused := make([]*fusedRun, top)
+		copy(fused, m.fused)
+		m.fused = fused
+	}
+	if !m.pdecResidentOK {
+		for _, f := range m.fused {
+			if f != nil {
+				f.allRes = false
+			}
+		}
+	}
+}
+
+// invalidateFused drops every fused handler whose run could overlap
+// the written code range [start, end) — any run starting in the
+// range, plus runs beginning up to the longest installed run before
+// it — and marks the table stale so the next bootstrap re-verifies
+// and re-installs. The write-through coherence rule of the code cache
+// (predecode.go) applies unchanged.
+func (m *Machine) invalidateFused(start, end uint32) {
+	if m.fused == nil {
+		if m.fusionOn {
+			m.fusedStale = true
+		}
+		return
+	}
+	lo := int64(start) - int64(m.fusedMaxInstrs-1)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int64(end)
+	if hi > int64(len(m.fused)) {
+		hi = int64(len(m.fused))
+	}
+	for a := lo; a < hi; a++ {
+		if f := m.fused[a]; f != nil && int64(f.start)+int64(len(f.instrs)) > int64(start) {
+			m.fused[a] = nil
+			m.fusedCount--
+			if a < int64(len(m.pwidth)) {
+				// The head's dispatch flag goes with the handler; the
+				// predecoded width stays, governed by its own
+				// invalidation rule.
+				m.pwidth[a] &^= pwFusedHead
+			}
+		}
+	}
+	m.fusedStale = true
+	clear(m.fusedPreds)
+}
+
+// runFused replays one licensed run through its fused handler: the
+// plain-path twin (no hook, no text trace). Counters that the
+// components cannot observe mid-run — Instrs, and the resident-path
+// read count — are accumulated locally and flushed on every exit, so
+// the handler body costs one RMW per run instead of one per
+// component; cycle charges go through the same exec/cyc paths as
+// unfused execution. Returns the instructions executed and, when
+// m.err is set on return, the faulting component's address for the
+// caller's overflow-retry.
+func (m *Machine) runFused(f *fusedRun, instrumented bool) (uint64, uint32) {
+	n := len(f.instrs)
+	allRes := f.allRes
+	resAll := m.pdecResidentOK
+	executed := uint64(0)
+	fault := f.start
+	for i := 0; i < n; i++ {
+		a := f.start + uint32(i)
+		if !allRes {
+			// Fetch replay, one word per component (the run classes
+			// admit only single-word instructions): identical
+			// accounting to the decoder's fetch or predecode's replay.
+			cost, allHit, err := m.icache.Touch(a, 1)
+			m.stats.Cycles += uint64(cost)
+			if err != nil {
+				if m.err == nil {
+					m.err = classifyTrap(err)
+				}
+				fault = a
+				break
+			}
+			if !allHit {
+				resAll = false
+			}
+		}
+		executed++
+		m.p = a + 1
+		if instrumented {
+			m.execInstrumented(a, &f.instrs[i])
+		} else {
+			m.exec(&f.instrs[i])
+		}
+		if m.err != nil {
+			fault = a
+			break
+		}
+		if m.p != a+1 {
+			// Control left the straight line: a mid-run failure or the
+			// terminal call/execute. Resume through normal dispatch.
+			break
+		}
+	}
+	m.stats.Instrs += executed
+	if allRes {
+		m.icache.NoteReads(int(executed))
+	} else if executed == uint64(n) && resAll {
+		f.allRes = true
+	}
+	m.fuseDispatches++
+	m.fuseSteps += executed
+	return executed, fault
+}
+
+// runFusedTraced is the traced twin of runFused (the stepsTraced
+// duplication idiom, traced.go): per-component KInstr events with
+// exact cycle deltas, a KFault for a faulting fetch, and the
+// boundary event of a terminal call/execute — byte-identical to the
+// stream the unfused loop emits for the same instructions. Run
+// components are never Builtin, so no meta-call boundary
+// (pendingCallSet) can arise inside a run.
+func (m *Machine) runFusedTraced(f *fusedRun, instrumented bool) (uint64, uint32) {
+	n := len(f.instrs)
+	allRes := f.allRes
+	resAll := m.pdecResidentOK
+	executed := uint64(0)
+	fault := f.start
+	for i := 0; i < n; i++ {
+		a := f.start + uint32(i)
+		m.traceP = a
+		before := m.stats.Cycles
+		gcBefore := m.gcStats.Cycles
+		if allRes {
+			m.icache.NoteReads(1)
+		} else {
+			cost, allHit, err := m.icache.Touch(a, 1)
+			m.stats.Cycles += uint64(cost)
+			if err != nil {
+				if m.err == nil {
+					m.err = classifyTrap(err)
+				}
+				m.emit(trace.Event{Kind: trace.KFault, P: a, Cycles: m.stats.Cycles - before})
+				fault = a
+				break
+			}
+			if !allHit {
+				resAll = false
+			}
+		}
+		m.stats.Instrs++
+		executed++
+		m.p = a + 1
+		in := &f.instrs[i]
+		op := in.Op
+		tgt := uint32(in.L)
+		if instrumented {
+			m.execInstrumented(a, in)
+		} else {
+			m.exec(in)
+		}
+		m.emit(trace.Event{Kind: trace.KInstr, Op: op, P: a,
+			Cycles: m.stats.Cycles - before - (m.gcStats.Cycles - gcBefore)})
+		if m.err != nil {
+			m.pendingCallSet = false
+			fault = a
+			break
+		}
+		switch op {
+		case kcmisa.Call:
+			m.emit(trace.Event{Kind: trace.KCall, Op: op, P: a, Addr: tgt})
+		case kcmisa.Execute:
+			m.emit(trace.Event{Kind: trace.KExecute, Op: op, P: a, Addr: tgt})
+		}
+		if m.p != a+1 {
+			break
+		}
+	}
+	if !allRes && executed == uint64(n) && resAll {
+		f.allRes = true
+	}
+	m.fuseDispatches++
+	m.fuseSteps += executed
+	return executed, fault
+}

@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/term"
+)
+
+// TestFusedInvalidationOnPatch drives the write-through coherence rule
+// of the fusion tier: PatchCode on a hot machine must drop every fused
+// handler overlapping the written range (fuse.go invalidateFused), so
+// a patched predicate can never execute through a handler compiled
+// from the old code words. The next bootstrap re-verifies the image
+// and re-installs handlers for the new code.
+func TestFusedInvalidationOnPatch(t *testing.T) {
+	const baseSrc = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+k(X) :- app([a,b,c], [d], X).
+pad1(p1). pad2(p2). pad3(p3). pad4(p4).
+pad5(X) :- pad1(X). pad6(X) :- pad2(X).
+pad7(X) :- pad5(X), pad6(X).
+`
+	const replSrc = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+k(X) :- app([z], [w], X).
+`
+	c := compiler.New(nil)
+	base := compileUnit(t, c, baseSrc, "k(X).")
+	im, err := asm.Link(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(im, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := im.Entry(compiler.QueryPI)
+	res, err := m.Run(entry)
+	if err != nil || !res.Success {
+		t.Fatalf("base run: %v %v", err, res.Success)
+	}
+	if got := m.QueryBindings(im.QueryVars)[term.Var("X")]; got.String() != "[a,b,c,d]" {
+		t.Fatalf("base X = %v, want [a,b,c,d]", got)
+	}
+	runsBefore := m.FusedRuns()
+	if runsBefore == 0 {
+		t.Fatal("no fused handlers installed after the base run")
+	}
+
+	mod := compileUnit(t, c, replSrc, "k(X).")
+	im2, err := asm.LinkAt(mod, 0, im.Entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint32(len(im2.Code))
+	if n > m.CodeTop() {
+		t.Fatalf("replacement (%d words) larger than base image (%d)", n, m.CodeTop())
+	}
+	if err := m.PatchCode(0, im2.Code); err != nil {
+		t.Fatal(err)
+	}
+	// Handlers overlapping the written prefix must be gone right away,
+	// mid-session — before any re-verification has a chance to run.
+	if runs := m.FusedRuns(); runs >= runsBefore {
+		t.Fatalf("fused handlers not invalidated by PatchCode: %d before, %d after", runsBefore, runs)
+	}
+
+	entry2, ok := im2.Entry(compiler.QueryPI)
+	if !ok {
+		t.Fatal("no query entry in replacement unit")
+	}
+	m.ResetStats()
+	res2, err := m.Run(entry2)
+	if err != nil || !res2.Success {
+		t.Fatalf("patched run: %v %v", err, res2.Success)
+	}
+	if got := m.QueryBindings(im2.QueryVars)[term.Var("X")]; got.String() != "[z,w]" {
+		t.Fatalf("patched X = %v, want [z,w]", got)
+	}
+	// The patch marked the table stale; the patched run's bootstrap
+	// re-verified the new image and re-installed handlers for it.
+	if m.FusedRuns() == 0 {
+		t.Fatal("no fused handlers re-installed after the patched run")
+	}
+}

@@ -74,6 +74,7 @@ func (m *Machine) LoadIncremental(code []word.Word) (uint32, error) {
 	m.invalidateFacts(base, m.codeTop)
 	m.growPredecode(m.codeTop)
 	m.invalidatePredecode(base, m.codeTop)
+	m.invalidateFused(base, m.codeTop)
 	return base, nil
 }
 
@@ -130,6 +131,7 @@ func (m *Machine) LoadBatch(code []word.Word) (uint32, error) {
 	m.invalidateFacts(base, m.codeTop)
 	m.growPredecode(m.codeTop)
 	m.invalidatePredecode(base, m.codeTop)
+	m.invalidateFused(base, m.codeTop)
 	return base, nil
 }
 
@@ -165,5 +167,6 @@ func (m *Machine) PatchCode(addr uint32, code []word.Word) error {
 	m.shadowWrite(addr, code)
 	m.invalidateFacts(addr, uint32(end))
 	m.invalidatePredecode(addr, uint32(end))
+	m.invalidateFused(addr, uint32(end))
 	return nil
 }

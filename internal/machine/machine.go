@@ -109,6 +109,21 @@ type Config struct {
 	// GlobalSize/16, floored at 64 words.
 	HeapWatermarkWords uint32
 
+	// Fusion enables the superinstruction fusion tier (fuse.go):
+	// analyzer-licensed instruction runs are installed as fused host
+	// handlers consulted before normal dispatch. Fusion is a pure
+	// host-speed artifact — simulated cycle counts, cache statistics
+	// and trace events are byte-identical either way — so it defaults
+	// to on; set Off for A/B control runs.
+	Fusion *bool
+
+	// FuseThresholdCycles gates fusion on profiler heat: 0 installs
+	// every licensed handler eagerly at bootstrap; a non-zero value
+	// installs a predicate's handlers only once its profiled cycle
+	// count (requires Profile) reaches the threshold, re-checked at
+	// session chunk boundaries.
+	FuseThresholdCycles uint64
+
 	// Profile enables the per-predicate cycle monitor (see Profile).
 	Profile bool
 
@@ -204,6 +219,7 @@ type Result struct {
 	DataMMU  mmu.Stats
 	Profile  []ProfileRow // non-nil when Config.Profile is set
 	GC       GCStats
+	Fusion   FusionStats // fused-handler install and activity counters
 }
 
 // Machine is one KCM processor with its private memory.
@@ -211,6 +227,9 @@ type Machine struct {
 	cfg   Config
 	costs Costs
 	syms  *term.SymTab
+	// tb slab-allocates the terms QueryBindings materializes; its
+	// cells are write-once, so it is never reset (readback.go).
+	tb term.Builder
 
 	phys   *mem.Memory
 	dmmu   *mmu.MMU
@@ -289,6 +308,20 @@ type Machine struct {
 	// fast path is sound (see predecode.go).
 	pdecResidentOK bool
 
+	// Superinstruction fusion tier (fuse.go): fused[a] holds the
+	// installed handler for the licensed run headed at code address a
+	// (nil = none). The table is host-side only, like the predecode
+	// tables; fusedStale triggers (re)installation at bootstrap.
+	fused          []*fusedRun
+	fusedPreds     map[uint32]bool // predicate starts already installed
+	fusedStale     bool
+	fusionOn       bool
+	fuseThreshold  uint64
+	fusedCount     int
+	fusedMaxInstrs int
+	fuseDispatches uint64
+	fuseSteps      uint64
+
 	// preds is the runtime predicate table for the meta-call escape:
 	// (atom index, arity) -> code entry.
 	preds map[uint64]uint32
@@ -365,6 +398,12 @@ func New(im *asm.Image, cfg Config) (*Machine, error) {
 		m.hostProf = &hostProfiler{}
 	}
 	m.fetch = m.fetchCode
+	m.fusionOn = boolDefault(cfg.Fusion, true)
+	m.fuseThreshold = cfg.FuseThresholdCycles
+	if m.fusionOn {
+		m.fusedStale = true
+		m.fusedPreds = map[uint32]bool{}
+	}
 	m.preds = map[uint64]uint32{}
 	m.entries = make(map[term.Indicator]uint32, len(im.Entries))
 	for pi, a := range im.Entries {
@@ -449,12 +488,24 @@ func (m *Machine) Stats() Stats { return m.stats }
 // ---- data-space access paths ----
 
 // readData reads through zone check and data cache using a tagged
-// address word.
+// address word. The common case — legal address, cache hit — runs
+// entirely through the inlinable fast paths (CheckFast + ReadFast:
+// one counted check, one counted read, zero cycles), exactly the
+// statistics Check + Read would produce; violations and misses fall
+// back to the full routines, which do their own counting because the
+// fast paths counted nothing.
 func (m *Machine) readData(addr word.Word) (word.Word, bool) {
-	if err := m.dmmu.Check(addr, false); err != nil {
-		m.err = classifyTrap(err)
+	if !m.dmmu.CheckFast(addr, false) {
+		m.err = classifyTrap(m.dmmu.Check(addr, false))
 		return 0, false
 	}
+	if w, ok := m.dcache.ReadFast(addr.Value(), addr.Zone()); ok {
+		return w, true
+	}
+	return m.readDataMiss(addr)
+}
+
+func (m *Machine) readDataMiss(addr word.Word) (word.Word, bool) {
 	w, cost, err := m.dcache.Read(addr.Value(), addr.Zone())
 	m.stats.Cycles += uint64(cost)
 	if err != nil {
@@ -464,12 +515,20 @@ func (m *Machine) readData(addr word.Word) (word.Word, bool) {
 	return w, true
 }
 
-// writeData writes through zone check and data cache.
+// writeData writes through zone check and data cache; fast/slow path
+// split as readData.
 func (m *Machine) writeData(addr word.Word, w word.Word) bool {
-	if err := m.dmmu.Check(addr, true); err != nil {
-		m.err = classifyTrap(err)
+	if !m.dmmu.CheckFast(addr, true) {
+		m.err = classifyTrap(m.dmmu.Check(addr, true))
 		return false
 	}
+	if m.dcache.WriteFast(addr.Value(), addr.Zone(), w) {
+		return true
+	}
+	return m.writeDataMiss(addr, w)
+}
+
+func (m *Machine) writeDataMiss(addr word.Word, w word.Word) bool {
 	cost, err := m.dcache.Write(addr.Value(), addr.Zone(), w)
 	m.stats.Cycles += uint64(cost)
 	if err != nil {
@@ -518,6 +577,7 @@ func (m *Machine) errw(sentinel error, format string, args ...any) {
 // protocol: time a second execution with warm caches.
 func (m *Machine) ResetStats() {
 	m.stats = Stats{}
+	m.fuseDispatches, m.fuseSteps = 0, 0
 	m.dcache.ResetStats()
 	m.icache.ResetStats()
 	m.phys.ResetStats()

@@ -43,20 +43,24 @@ func (m *Machine) readTerm(w word.Word, depth int) term.Term {
 	case word.TNil:
 		return term.NilAtom
 	case word.TList:
+		// Cells come from the machine's slab builder: solution
+		// readback is the warm-pool hot path, and per-cell heap
+		// allocation dominated the per-query cost (the builder's
+		// write-once slabs keep earlier solutions valid).
 		h := m.readTerm(m.peek(word.ZGlobal, w.Addr()), depth-1)
 		t := m.readTerm(m.peek(word.ZGlobal, w.Addr()+1), depth-1)
-		return term.Cons(h, t)
+		return m.tb.Cons(h, t)
 	case word.TStruct:
 		f := m.peek(word.ZGlobal, w.Addr())
 		if f.Type() != word.TFunc {
 			return term.Atom("<corrupt-structure>")
 		}
 		name := m.syms.Name(f.FunctorAtom())
-		args := make([]term.Term, f.FunctorArity())
+		t, args := m.tb.Compound(name, int(f.FunctorArity()))
 		for i := range args {
 			args[i] = m.readTerm(m.peek(word.ZGlobal, w.Addr()+1+uint32(i)), depth-1)
 		}
-		return term.New(name, args...)
+		return t
 	default:
 		return term.Atom("<" + w.String() + ">")
 	}

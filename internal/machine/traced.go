@@ -72,8 +72,8 @@ func (m *Machine) Hook() trace.Hook { return m.hook }
 func (m *Machine) stepsTraced(limit uint64) uint64 {
 	steps := uint64(0)
 	instrumented := m.prof != nil || m.hostProf != nil
+	fuseOK := m.fused != nil && m.cfg.Trace == nil
 	for !m.halted && m.err == nil && steps < limit {
-		steps++
 		addr := m.p
 		m.traceP = addr
 		before := m.stats.Cycles
@@ -81,8 +81,22 @@ func (m *Machine) stepsTraced(limit uint64) uint64 {
 		var in *kcmisa.Instr
 		var nw int
 		if int64(addr) < int64(len(m.pwidth)) {
+			w := m.pwidth[addr]
+			if w&pwFusedHead != 0 && fuseOK {
+				// Mirror of the fused dispatch in steps(): the traced
+				// twin of the handler emits the identical event stream.
+				if f := m.fused[addr]; f != nil && steps+uint64(len(f.instrs)) <= limit {
+					ex, fa := m.runFusedTraced(f, instrumented)
+					steps += ex
+					if m.err != nil && m.recoverHeap(fa) {
+						m.p = fa
+					}
+					continue
+				}
+			}
+			steps++
 			in = &m.pdec[addr]
-			if w := m.pwidth[addr]; w != 0 {
+			if w != 0 {
 				nw = int(w & pwWidthMask)
 				if w&pwResident != 0 {
 					m.icache.NoteReads(nw)
@@ -103,6 +117,7 @@ func (m *Machine) stepsTraced(limit uint64) uint64 {
 				}
 			}
 		} else {
+			steps++
 			nw = kcmisa.DecodeInto(m.fetch, addr, &m.scratch)
 			in = &m.scratch
 		}

@@ -1,0 +1,63 @@
+package term
+
+// Builder constructs terms from slab-allocated storage: cells and
+// argument slots are carved out of chunked backing arrays, so building
+// an n-element list costs ~2n/builderSlab allocations instead of 2n.
+// Every cell is written exactly once and never reclaimed — the builder
+// only ever moves forward through its slabs — so terms built earlier
+// remain valid for as long as their holders keep them, even while the
+// same builder keeps producing new ones. That makes a long-lived
+// per-machine Builder safe for solution readback: each query's
+// bindings alias slab memory, never share cells.
+//
+// The zero Builder is ready to use.
+type Builder struct {
+	cells []Compound
+	args  []Term
+}
+
+const builderSlab = 256
+
+func (b *Builder) cell() *Compound {
+	if len(b.cells) == 0 {
+		b.cells = make([]Compound, builderSlab)
+	}
+	c := &b.cells[0]
+	b.cells = b.cells[1:]
+	return c
+}
+
+func (b *Builder) slots(n int) []Term {
+	if len(b.args) < n {
+		size := builderSlab
+		if n > size {
+			size = n
+		}
+		b.args = make([]Term, size)
+	}
+	s := b.args[:n:n]
+	b.args = b.args[n:]
+	return s
+}
+
+// Cons builds a list cell [Head|Tail] from slab storage.
+func (b *Builder) Cons(head, tail Term) Term {
+	c := b.cell()
+	s := b.slots(2)
+	s[0], s[1] = head, tail
+	c.Functor = DotAtom
+	c.Args = s
+	return c
+}
+
+// Compound builds an arity-n compound whose Args the caller fills in;
+// arity 0 is returned as the bare atom, mirroring New.
+func (b *Builder) Compound(f Atom, arity int) (Term, []Term) {
+	if arity == 0 {
+		return f, nil
+	}
+	c := b.cell()
+	c.Functor = f
+	c.Args = b.slots(arity)
+	return c, c.Args
+}

@@ -29,8 +29,8 @@ extract() {
     inb && /^  \}/           { inb = 0; done = 1 }
     inb {
         line = $0
-        if (match(line, /"[A-Za-z0-9_]+":/)) {
-            name = substr(line, RSTART + 1, RLENGTH - 3)
+        if (match(line, /"[A-Za-z0-9_-]+": \{/)) {
+            name = substr(line, RSTART + 1, RLENGTH - 5)
             ns = allocs = "?"
             if (match(line, /"ns_op": [0-9]+/))     ns     = substr(line, RSTART + 9, RLENGTH - 9)
             if (match(line, /"allocs_op": [0-9]+/)) allocs = substr(line, RSTART + 13, RLENGTH - 13)
