@@ -62,6 +62,7 @@ func lintTree(root string) ([]finding, error) {
 		out = append(out, checkSentinelCompare(fset, pf)...)
 		out = append(out, checkStepsAllocs(fset, pf)...)
 		out = append(out, checkKindSwitches(fset, pf, kinds)...)
+		out = append(out, checkMachineAcrossWrite(fset, pf)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].pos, out[j].pos
@@ -217,6 +218,117 @@ func checkStepsAllocs(fset *token.FileSet, pf parsedFile) []finding {
 				flag(n, "go statement")
 			case *ast.DeferStmt:
 				flag(n, "defer statement")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// leaseCalls are the method names that hand a pooled machine to the
+// caller; closeCalls are the names that give it back.
+var (
+	leaseCalls = map[string]bool{"Begin": true, "Acquire": true}
+	closeCalls = map[string]bool{"Close": true, "Release": true}
+)
+
+// responseWriterParams collects the names of a function's
+// http.ResponseWriter parameters.
+func responseWriterParams(ft *ast.FuncType) map[string]bool {
+	writers := map[string]bool{}
+	if ft.Params == nil {
+		return writers
+	}
+	for _, field := range ft.Params.List {
+		se, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || se.Sel.Name != "ResponseWriter" {
+			continue
+		}
+		if id, ok := se.X.(*ast.Ident); !ok || id.Name != "http" {
+			continue
+		}
+		for _, n := range field.Names {
+			if n.Name != "_" {
+				writers[n.Name] = true
+			}
+		}
+	}
+	return writers
+}
+
+// checkMachineAcrossWrite enforces the kcmd handler discipline: a
+// function that holds both a network connection (an
+// http.ResponseWriter parameter) and a pooled machine (a .Begin or
+// .Acquire call) must release the machine — a non-deferred .Close or
+// .Release — before the writer is touched or passed anywhere. A
+// deferred Close holds the machine to function end, so any writer use
+// after the lease counts. A slow client must never hold a machine
+// hostage; handlers delegate to writer-free run functions instead.
+func checkMachineAcrossWrite(fset *token.FileSet, pf parsedFile) []finding {
+	var out []finding
+	for _, decl := range pf.file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		writers := responseWriterParams(fd.Type)
+		if len(writers) == 0 {
+			continue
+		}
+
+		// Deferred statements do not release (or lease) anything
+		// before function end; note their extents to skip them.
+		var deferred [][2]token.Pos
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if ds, ok := n.(*ast.DeferStmt); ok {
+				deferred = append(deferred, [2]token.Pos{ds.Pos(), ds.End()})
+			}
+			return true
+		})
+		inDefer := func(p token.Pos) bool {
+			for _, d := range deferred {
+				if d[0] <= p && p < d[1] {
+					return true
+				}
+			}
+			return false
+		}
+
+		// First live lease, first live release after it, and every
+		// writer mention in between (in source order).
+		lease, release := token.NoPos, token.NoPos
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ce, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			se, ok := ce.Fun.(*ast.SelectorExpr)
+			if !ok || inDefer(ce.Pos()) {
+				return true
+			}
+			switch {
+			case leaseCalls[se.Sel.Name] && !lease.IsValid():
+				lease = ce.Pos()
+			case closeCalls[se.Sel.Name] && lease.IsValid() && !release.IsValid() && ce.Pos() > lease:
+				release = ce.Pos()
+			}
+			return true
+		})
+		if !lease.IsValid() {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || !writers[id.Name] {
+				return true
+			}
+			if id.Pos() > lease && (!release.IsValid() || id.Pos() < release) {
+				out = append(out, finding{
+					pos: fset.Position(id.Pos()),
+					msg: fmt.Sprintf("pooled machine leased at line %d is held across this use of %s; "+
+						"release or park it before touching the network (see the kcmd handler discipline)",
+						fset.Position(lease).Line, id.Name),
+				})
 			}
 			return true
 		})

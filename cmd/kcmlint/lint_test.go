@@ -173,6 +173,61 @@ func h(k Kind) {
 	}
 }
 
+func TestMachineAcrossWrite(t *testing.T) {
+	fs := lintSources(t, map[string]string{
+		"srv/srv.go": `package srv
+
+import "net/http"
+
+type pool struct{}
+type sess struct{}
+
+func (p *pool) Begin() *sess  { return nil }
+func (s *sess) Close()        {}
+
+// Flagged: the machine is still leased when w is written.
+func badHandler(w http.ResponseWriter, r *http.Request, p *pool) {
+	s := p.Begin()
+	w.WriteHeader(200) // flagged
+	s.Close()
+}
+
+// Flagged: a deferred Close holds the machine to function end.
+func badDeferHandler(w http.ResponseWriter, r *http.Request, p *pool) {
+	s := p.Begin()
+	defer s.Close()
+	w.WriteHeader(200) // flagged
+}
+
+// Fine: released before the network write.
+func goodHandler(w http.ResponseWriter, r *http.Request, p *pool) {
+	s := p.Begin()
+	s.Close()
+	w.WriteHeader(200)
+}
+
+// Fine: writer used before the lease, machine never crosses a write.
+func goodOrder(w http.ResponseWriter, r *http.Request, p *pool) {
+	w.Header().Set("a", "b")
+	s := p.Begin()
+	s.Close()
+}
+
+// Fine: no writer in scope.
+func runOnly(p *pool) {
+	s := p.Begin()
+	defer s.Close()
+}
+`,
+	})
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(fs), fs)
+	}
+	if !hasFinding(fs, "held across this use of w") {
+		t.Errorf("finding should name the writer: %v", fs)
+	}
+}
+
 func TestTestdataSkipped(t *testing.T) {
 	fs := lintSources(t, map[string]string{
 		"a/testdata/bad.go": `package bad

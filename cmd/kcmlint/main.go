@@ -13,7 +13,12 @@
 //   - every switch over trace.Kind must either carry a default clause
 //     or enumerate all Kind constants: the event vocabulary grows, and
 //     a sink that silently drops unknown kinds corrupts analyses
-//     downstream.
+//     downstream;
+//   - a function holding both an http.ResponseWriter parameter and a
+//     pooled machine (a .Begin/.Acquire call) must release the machine
+//     with a non-deferred .Close/.Release before touching the writer:
+//     a slow client must never hold a machine hostage, so handlers
+//     delegate to writer-free run functions (the kcmd discipline).
 //
 // Usage:
 //

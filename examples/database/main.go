@@ -13,7 +13,6 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/machine"
 )
 
 // density/2 itself comes with the benchmark's fact base.
@@ -52,7 +51,7 @@ func main() {
 
 	// Unbound keys: the full backtracking search over all pairs.
 	fmt.Println("countries with nearly equal population density:")
-	sol, err = prog.QueryConfig("report.", machine.Config{Out: os.Stdout})
+	sol, err = prog.Query("report.", core.WithWriter(os.Stdout))
 	if err != nil {
 		log.Fatal(err)
 	}

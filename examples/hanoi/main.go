@@ -10,7 +10,6 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/machine"
 )
 
 const program = `
@@ -32,7 +31,7 @@ func main() {
 
 	// Small instance: show the moves themselves.
 	fmt.Println("hanoi(3):")
-	sol, err := prog.QueryConfig("hanoi(3).", machine.Config{Out: os.Stdout})
+	sol, err := prog.Query("hanoi(3).", core.WithWriter(os.Stdout))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +44,7 @@ func main() {
 	fmt.Println("\n size      moves  inferences        ms    Klips")
 	for n := 4; n <= 12; n += 2 {
 		var sink strings.Builder
-		sol, err := prog.QueryConfig(fmt.Sprintf("hanoi(%d).", n), machine.Config{Out: &sink})
+		sol, err := prog.Query(fmt.Sprintf("hanoi(%d).", n), core.WithWriter(&sink))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -53,7 +53,7 @@ func main() {
 		s := sol.Result.Stats
 
 		// Same search with eager (standard WAM) choice points.
-		eag, err := prog.QueryConfig(q, machine.Config{Shallow: machine.Off})
+		eag, err := prog.Query(q, core.WithConfig(machine.Config{Shallow: machine.Off}))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -52,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sol, err := prog.QueryConfig("zebra(Owner, Houses).", machine.Config{Profile: true})
+	sol, err := prog.Query("zebra(Owner, Houses).", core.WithConfig(machine.Config{Profile: true}))
 	if err != nil {
 		log.Fatal(err)
 	}

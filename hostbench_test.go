@@ -109,7 +109,7 @@ func BenchmarkHostPoolNrev(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pool := engine.NewPool(benchConfig(), 0) // GOMAXPROCS machines
+	pool := engine.New(engine.WithConfig(benchConfig())) // GOMAXPROCS machines
 	if err := pool.Warm(context.Background(), im); err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,276 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// The load generator drives a kcmd daemon the way the paper's host
+// drives the KCM: N concurrent clients, each issuing a scripted mix
+// of single-shot queries, session-driven enumerations and NDJSON
+// streams, with per-request latencies folded into a histogram. Its
+// report is the BENCH_8 artifact.
+
+// OpKind selects how one mix element talks to the daemon.
+type OpKind string
+
+const (
+	// OpQuery is a single-shot query: one request, first solution.
+	OpQuery OpKind = "query"
+	// OpEnumerate creates a session and drives it with next-solution
+	// requests until the search exhausts.
+	OpEnumerate OpKind = "enumerate"
+	// OpStream consumes the whole enumeration as one NDJSON stream.
+	OpStream OpKind = "stream"
+)
+
+// LoadOp is one element of the query mix.
+type LoadOp struct {
+	Name string
+	Kind OpKind
+	Req  wire.QueryRequest
+	// MinSolutions fails the op when the enumeration yields fewer
+	// (guards against a server quietly answering "no" to everything).
+	MinSolutions int
+}
+
+// LoadConfig describes one load-generation run.
+type LoadConfig struct {
+	Clients          int     // concurrent clients
+	QueriesPerClient int     // ops issued per client (round-robin over Mix)
+	RatePerClient    float64 // target ops/s per client; 0 = open throttle
+	Mix              []LoadOp
+}
+
+// latBuckets are the histogram bucket upper bounds in microseconds.
+var latBuckets = []float64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000}
+
+// OpReport aggregates one mix element across all clients.
+type OpReport struct {
+	Count     int     `json:"count"`
+	Failed    int     `json:"failed"`
+	Solutions int     `json:"solutions"`
+	Requests  int     `json:"requests"` // HTTP round-trips (enumerations issue several)
+	P50us     float64 `json:"p50_us"`
+	P90us     float64 `json:"p90_us"`
+	P99us     float64 `json:"p99_us"`
+	Maxus     float64 `json:"max_us"`
+	// HistogramUS counts op latencies per bucket; the last slot is
+	// the overflow bucket.
+	HistogramUS map[string]int `json:"histogram_us"`
+}
+
+// LoadReport is the whole run.
+type LoadReport struct {
+	Clients          int                  `json:"clients"`
+	QueriesPerClient int                  `json:"queries_per_client"`
+	RatePerClient    float64              `json:"rate_per_client"`
+	DurationMS       float64              `json:"duration_ms"`
+	TotalOps         int                  `json:"total_ops"`
+	TotalRequests    int                  `json:"total_requests"`
+	TotalSolutions   int                  `json:"total_solutions"`
+	Failed           int                  `json:"failed"`
+	ThroughputOps    float64              `json:"throughput_ops_per_s"`
+	Ops              map[string]*OpReport `json:"ops"`
+	Errors           []string             `json:"errors,omitempty"`
+}
+
+// opSample is one finished op from one client.
+type opSample struct {
+	name      string
+	us        float64
+	requests  int
+	solutions int
+	err       error
+}
+
+// RunLoad drives the daemon at base with cfg and aggregates the
+// samples. It only returns a transport-level error for a broken
+// configuration; individual op failures are counted in the report.
+func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Clients <= 0 || cfg.QueriesPerClient <= 0 || len(cfg.Mix) == 0 {
+		return nil, fmt.Errorf("loadgen: need clients, queries and a mix")
+	}
+	samples := make(chan opSample, cfg.Clients*cfg.QueriesPerClient)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			var tick *time.Ticker
+			if cfg.RatePerClient > 0 {
+				tick = time.NewTicker(time.Duration(float64(time.Second) / cfg.RatePerClient))
+				defer tick.Stop()
+			}
+			for i := 0; i < cfg.QueriesPerClient; i++ {
+				if tick != nil {
+					select {
+					case <-tick.C:
+					case <-ctx.Done():
+						return
+					}
+				}
+				// Offset the mix per client so the pool serves every
+				// image concurrently from the first round.
+				op := cfg.Mix[(cl+i)%len(cfg.Mix)]
+				samples <- runOp(ctx, c, op)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(samples)
+
+	rep := &LoadReport{
+		Clients:          cfg.Clients,
+		QueriesPerClient: cfg.QueriesPerClient,
+		RatePerClient:    cfg.RatePerClient,
+		DurationMS:       float64(elapsed.Microseconds()) / 1000,
+		Ops:              make(map[string]*OpReport),
+	}
+	lats := make(map[string][]float64)
+	for s := range samples {
+		or := rep.Ops[s.name]
+		if or == nil {
+			or = &OpReport{HistogramUS: make(map[string]int)}
+			rep.Ops[s.name] = or
+		}
+		or.Count++
+		or.Requests += s.requests
+		or.Solutions += s.solutions
+		rep.TotalOps++
+		rep.TotalRequests += s.requests
+		rep.TotalSolutions += s.solutions
+		if s.err != nil {
+			or.Failed++
+			rep.Failed++
+			if len(rep.Errors) < 10 {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", s.name, s.err))
+			}
+			continue
+		}
+		lats[s.name] = append(lats[s.name], s.us)
+		or.HistogramUS[bucketLabel(s.us)]++
+	}
+	for name, ls := range lats {
+		sort.Float64s(ls)
+		or := rep.Ops[name]
+		or.P50us = percentile(ls, 50)
+		or.P90us = percentile(ls, 90)
+		or.P99us = percentile(ls, 99)
+		or.Maxus = ls[len(ls)-1]
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.ThroughputOps = float64(rep.TotalOps) / sec
+	}
+	return rep, nil
+}
+
+// runOp executes one mix element and times it end to end.
+func runOp(ctx context.Context, c *Client, op LoadOp) opSample {
+	t0 := time.Now()
+	requests, solutions, err := doOp(ctx, c, op)
+	s := opSample{
+		name:      op.Name,
+		us:        float64(time.Since(t0).Nanoseconds()) / 1000,
+		requests:  requests,
+		solutions: solutions,
+		err:       err,
+	}
+	if err == nil && solutions < op.MinSolutions {
+		s.err = fmt.Errorf("%d solutions, want >= %d", solutions, op.MinSolutions)
+	}
+	return s
+}
+
+func doOp(ctx context.Context, c *Client, op LoadOp) (requests, solutions int, err error) {
+	switch op.Kind {
+	case OpQuery:
+		rep, err := c.Query(ctx, op.Req)
+		requests = 1
+		if err != nil {
+			return requests, 0, err
+		}
+		switch rep.Status {
+		case wire.StatusYes:
+			return requests, 1, nil
+		case wire.StatusNo:
+			return requests, 0, nil
+		case wire.StatusSuspended:
+			// Single-shot op does not resume; clean up the session.
+			if _, cerr := c.Cancel(ctx, rep.Session); cerr != nil {
+				return requests + 1, 0, cerr
+			}
+			return requests + 1, 0, fmt.Errorf("suspended (budget too small for mix)")
+		default:
+			return requests, 0, fmt.Errorf("status %q: %s", rep.Status, rep.Error)
+		}
+	case OpEnumerate:
+		req := op.Req
+		req.Enumerate = true
+		rep, err := c.Query(ctx, req)
+		requests = 1
+		for {
+			if err != nil {
+				return requests, solutions, err
+			}
+			switch rep.Status {
+			case wire.StatusYes:
+				solutions++
+				if rep.Session == "" {
+					// Parking failed (table full): delivered but not
+					// resumable; treat as a finished enumeration.
+					return requests, solutions, fmt.Errorf("session not parked: %s", rep.Error)
+				}
+			case wire.StatusSuspended:
+				// Keep driving the suspended search.
+			case wire.StatusNo:
+				return requests, solutions, nil
+			default:
+				return requests, solutions, fmt.Errorf("status %q: %s", rep.Status, rep.Error)
+			}
+			rep, err = c.Next(ctx, rep.Session, 0)
+			requests++
+		}
+	case OpStream:
+		fin, err := c.Stream(ctx, op.Req, func(wire.Reply) bool {
+			solutions++
+			return true
+		})
+		requests = 1
+		if err != nil {
+			return requests, solutions, err
+		}
+		if fin.Status != wire.StatusDone {
+			return requests, solutions, fmt.Errorf("stream ended with %q: %s", fin.Status, fin.Error)
+		}
+		return requests, solutions, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown op kind %q", op.Kind)
+	}
+}
+
+// bucketLabel names the histogram bucket for a latency in µs.
+func bucketLabel(us float64) string {
+	for _, ub := range latBuckets {
+		if us <= ub {
+			return fmt.Sprintf("<=%dus", int(ub))
+		}
+	}
+	return ">1s"
+}
+
+// percentile reads the p-th percentile from sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted)-1) * p / 100)
+	return sorted[idx]
+}

@@ -243,20 +243,6 @@ func (p *Program) Query(query string, opts ...QueryOption) (*Solution, error) {
 	return it.Solution(), nil // the failed outcome, with its Result
 }
 
-// QueryWriter runs a goal sending write/1 output to w.
-//
-// Deprecated: use Query(query, WithWriter(w)).
-func (p *Program) QueryWriter(query string, w io.Writer) (*Solution, error) {
-	return p.Query(query, WithWriter(w))
-}
-
-// QueryConfig runs a goal with an explicit machine configuration.
-//
-// Deprecated: use Query(query, WithConfig(cfg)).
-func (p *Program) QueryConfig(query string, cfg machine.Config) (*Solution, error) {
-	return p.Query(query, WithConfig(cfg))
-}
-
 // Solutions compiles a goal and returns an iterator over its
 // solutions, driven by redo-based enumeration on one machine: after
 // each solution the iterator forces a failure into the topmost choice

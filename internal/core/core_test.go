@@ -184,7 +184,7 @@ func TestWriteOutput(t *testing.T) {
 	src := appendSrc
 	p := MustLoad(src)
 	var buf strings.Builder
-	sol, err := p.QueryWriter("app([1,2], [3], X), write(X), nl.", &buf)
+	sol, err := p.Query("app([1,2], [3], X), write(X), nl.", WithWriter(&buf))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -207,17 +207,3 @@ func TestSolutionViews(t *testing.T) {
 		t.Fatalf("failure Bindings() = %v", sol.Bindings())
 	}
 }
-
-// TestDeprecatedWrappers keeps the pre-option entry points working.
-func TestDeprecatedWrappers(t *testing.T) {
-	p := MustLoad(iterSrc)
-	var out strings.Builder
-	sol, err := p.QueryWriter("write(ok), nl.", &out)
-	if err != nil || !sol.Success || out.String() != "ok\n" {
-		t.Fatalf("QueryWriter: %v %v %q", err, sol, out.String())
-	}
-	sol, err = p.QueryConfig("member(X, [1]).", machine.Config{})
-	if err != nil || sol.String() != "X = 1" {
-		t.Fatalf("QueryConfig: %v %v", err, sol)
-	}
-}

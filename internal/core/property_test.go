@@ -198,7 +198,7 @@ func TestPropertyShallowEagerAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s2, err := prog.QueryConfig(q, machine.Config{Shallow: machine.Off})
+		s2, err := prog.Query(q, WithConfig(machine.Config{Shallow: machine.Off}))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -48,7 +48,7 @@ func TestZebraPuzzle(t *testing.T) {
 		"gc":            {GCThresholdWords: 4096},
 	}
 	for name, cfg := range configs {
-		sol, err := prog.QueryConfig("zebra(Owner).", cfg)
+		sol, err := prog.Query("zebra(Owner).", WithConfig(cfg))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -70,7 +70,7 @@ func TestZebraShallowWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eag, err := prog.QueryConfig("zebra(Owner).", machine.Config{Shallow: machine.Off})
+	eag, err := prog.Query("zebra(Owner).", WithConfig(machine.Config{Shallow: machine.Off}))
 	if err != nil {
 		t.Fatal(err)
 	}

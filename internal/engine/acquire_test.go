@@ -17,7 +17,7 @@ func TestAcquireBlocksAndCancels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := NewPool(machine.Config{}, 1)
+	p := New(WithPoolSize(1))
 
 	m, ip, err := p.acquire(context.Background(), im)
 	if err != nil {

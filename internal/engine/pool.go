@@ -29,10 +29,11 @@ import (
 )
 
 // Pool is a fixed-size pool of machines per compiled image. The zero
-// value is not usable; call NewPool.
+// value is not usable; call New.
 type Pool struct {
-	cfg  machine.Config
-	size int
+	cfg      machine.Config
+	size     int
+	autoWarm bool
 
 	mu     sync.Mutex
 	images map[*asm.Image]*imagePool
@@ -43,27 +44,126 @@ type Pool struct {
 // to the pool size, so release never blocks; built (guarded by
 // Pool.mu) counts machines in existence, capping construction.
 type imagePool struct {
-	im    *asm.Image
-	free  chan *machine.Machine
-	built int
+	im     *asm.Image
+	free   chan *machine.Machine
+	built  int
+	warmed bool // WithWarm already ran for this image
+}
+
+// PoolOption configures a Pool at construction. The options mirror
+// core's query options, so server configuration and library
+// configuration read identically.
+type PoolOption func(*Pool)
+
+// WithConfig replaces the whole machine configuration the pool builds
+// its machines with. Apply it before the options that refine the
+// configuration (WithFusion); options are applied in order.
+func WithConfig(cfg machine.Config) PoolOption {
+	return func(p *Pool) { p.cfg = cfg }
+}
+
+// WithPoolSize caps the machines built per image (<= 0 selects
+// GOMAXPROCS(0)).
+func WithPoolSize(n int) PoolOption {
+	return func(p *Pool) { p.size = n }
+}
+
+// WithWarm makes the pool warm each image's full machine complement
+// on its first query (the paper's warm-run protocol), so even the
+// first client-visible query runs on warm simulated caches. Without
+// it, Warm stays available as an explicit call.
+func WithWarm(on bool) PoolOption {
+	return func(p *Pool) { p.autoWarm = on }
+}
+
+// WithFusion toggles the superinstruction fusion tier for every pool
+// machine (on by default; host-side speed only, simulated counters
+// are identical either way).
+func WithFusion(on bool) PoolOption {
+	return func(p *Pool) {
+		if on {
+			p.cfg.Fusion = machine.On
+		} else {
+			p.cfg.Fusion = machine.Off
+		}
+	}
+}
+
+// WithProfiling arms pool-wide per-predicate cycle profiling from the
+// first machine built; read the aggregate with Profile.
+func WithProfiling(on bool) PoolOption {
+	return func(p *Pool) {
+		if on {
+			p.EnableProfiling()
+		}
+	}
+}
+
+// New creates a machine pool. With no options it serves each image
+// with up to GOMAXPROCS(0) default-configuration machines.
+func New(options ...PoolOption) *Pool {
+	p := &Pool{images: make(map[*asm.Image]*imagePool)}
+	for _, opt := range options {
+		opt(p)
+	}
+	if p.size <= 0 {
+		p.size = runtime.GOMAXPROCS(0)
+	}
+	return p
 }
 
 // NewPool creates a pool that serves each image with up to
 // machinesPerImage concurrent machines, all built with cfg.
 // machinesPerImage <= 0 selects GOMAXPROCS(0).
+//
+// Deprecated: use New(WithConfig(cfg), WithPoolSize(machinesPerImage)).
 func NewPool(cfg machine.Config, machinesPerImage int) *Pool {
-	if machinesPerImage <= 0 {
-		machinesPerImage = runtime.GOMAXPROCS(0)
-	}
-	return &Pool{
-		cfg:    cfg,
-		size:   machinesPerImage,
-		images: make(map[*asm.Image]*imagePool),
-	}
+	return New(WithConfig(cfg), WithPoolSize(machinesPerImage))
 }
 
 // Size is the per-image machine cap.
 func (p *Pool) Size() int { return p.size }
+
+// PoolStats is a point-in-time occupancy snapshot, the pool half of
+// the kcmd /v1/stats endpoint.
+type PoolStats struct {
+	Size   int `json:"size"`   // per-image machine cap
+	Images int `json:"images"` // distinct images served
+	Built  int `json:"built"`  // machines in existence
+	Idle   int `json:"idle"`   // machines parked in free lists
+	InUse  int `json:"in_use"` // Built - Idle: leased to queries/sessions
+}
+
+// Stats reports pool occupancy across all images. Machines held by
+// open sessions count as in use.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{Size: p.size, Images: len(p.images)}
+	for _, ip := range p.images {
+		st.Built += ip.built
+		st.Idle += len(ip.free)
+	}
+	st.InUse = st.Built - st.Idle
+	return st
+}
+
+// warmOnce runs Warm for im the first time the pool serves it.
+func (p *Pool) warmOnce(ctx context.Context, im *asm.Image) error {
+	p.mu.Lock()
+	ip := p.images[im]
+	if ip == nil {
+		ip = &imagePool{im: im, free: make(chan *machine.Machine, p.size)}
+		p.images[im] = ip
+	}
+	if ip.warmed {
+		p.mu.Unlock()
+		return nil
+	}
+	ip.warmed = true
+	p.mu.Unlock()
+	return p.Warm(ctx, im)
+}
 
 // EnableProfiling arms per-predicate cycle profiling for the pool:
 // every machine built afterwards carries its own trace.Profiler (no
@@ -132,51 +232,24 @@ func WithBudget(n uint64) Option {
 // the same per-query counters a dedicated machine.Run would have
 // produced — pooling changes who runs the query, not what it costs.
 func (p *Pool) Query(ctx context.Context, im *asm.Image, options ...Option) (*core.Solution, error) {
-	var o opts
-	for _, opt := range options {
-		opt(&o)
-	}
-	entry, ok := im.Entry(compiler.QueryPI)
-	if !ok {
-		return nil, fmt.Errorf("engine: image has no query entry point")
-	}
-	budget := o.budget
-	if budget == 0 {
-		budget = p.cfg.MaxSteps
-	}
-	if budget == 0 {
-		budget = 1_000_000_000
-	}
-
-	m, ip, err := p.acquire(ctx, im)
+	s, err := p.Begin(ctx, im, options...)
 	if err != nil {
 		return nil, err
 	}
-	defer p.release(ip, m)
-	// LIFO defers: the profile is harvested before the machine goes
-	// back to the pool, on every exit path (even a faulted query's
-	// partial cycles are attributed somewhere).
-	defer p.harvest(m)
-
-	m.Reset() // also clears any fault a previous query left behind
-	m.SetOut(o.out)
-	m.Begin(entry)
-	st, err := m.RunFor(ctx, budget)
-	if err != nil {
-		return nil, err
+	defer s.Close()
+	if s.Next(ctx) {
+		return s.Solution(), nil
 	}
-	if st == machine.Suspended {
+	if s.Err() != nil {
+		return nil, s.Err()
+	}
+	if s.Suspended() {
+		// One-shot semantics: exhausting the budget is a hard error,
+		// not a resumable suspension (hold a Session for that).
 		return nil, fmt.Errorf("engine: %w: query exceeded %d steps",
-			machine.ErrStepBudget, budget)
+			machine.ErrStepBudget, s.budget)
 	}
-	res := m.Result()
-	sol := &core.Solution{Success: res.Success, Result: res}
-	if res.Success {
-		// Read back before release: the bindings live in this
-		// machine's simulated memory.
-		sol.Vars = m.QueryBindings(im.QueryVars)
-	}
-	return sol, nil
+	return s.Solution(), nil // the failed outcome, with its Result
 }
 
 // Warm builds the image's full complement of machines and runs the

@@ -25,10 +25,10 @@ func TestPoolDiscardsFaultedMachines(t *testing.T) {
 	bad := compileImage(t, growSrc, "grow(100000, _).")
 	good := compileImage(t, growSrc, "grow(20, L).")
 
-	p := engine.NewPool(machine.Config{
+	p := engine.New(engine.WithConfig(machine.Config{
 		GlobalBase: 0x10000, GlobalSize: 0x1000,
 		GCOnOverflow: machine.Off,
-	}, 2)
+	}), engine.WithPoolSize(2))
 
 	const workers = 4
 	const rounds = 8
@@ -64,9 +64,9 @@ func TestPoolDiscardsFaultedMachines(t *testing.T) {
 func TestPoolRecoversHeapWithGC(t *testing.T) {
 	churnSrc := "churn(0).\nchurn(N) :- mk(N, _), M is N - 1, churn(M).\nmk(N, [N, N, N, N]).\n"
 	im := compileImage(t, churnSrc, "churn(2000).")
-	p := engine.NewPool(machine.Config{
+	p := engine.New(engine.WithConfig(machine.Config{
 		GlobalBase: 0x10000, GlobalSize: 0x800,
-	}, 2)
+	}), engine.WithPoolSize(2))
 	for i := 0; i < 4; i++ {
 		sol, err := p.Query(context.Background(), im)
 		if err != nil || !sol.Success {

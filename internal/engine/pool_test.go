@@ -91,7 +91,7 @@ func TestPoolParity(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pool := engine.NewPool(machine.Config{}, 1) // one machine: 2nd query reuses it
+	pool := engine.New(engine.WithPoolSize(1)) // one machine: 2nd query reuses it
 	for i, want := range []machine.Result{cold, warm} {
 		sol, err := pool.Query(context.Background(), im)
 		if err != nil {
@@ -145,7 +145,7 @@ func TestPoolRace(t *testing.T) {
 		jobs = append(jobs, job{im: im, want: sol.String()})
 	}
 
-	pool := engine.NewPool(machine.Config{}, 4) // 8 goroutines on 4 machines/image
+	pool := engine.New(engine.WithPoolSize(4)) // 8 goroutines on 4 machines/image
 	const goroutines, rounds = 8, 5
 	errs := make(chan error, goroutines)
 	var wg sync.WaitGroup
@@ -178,7 +178,7 @@ func TestPoolRace(t *testing.T) {
 // must not interleave output across machines.
 func TestPoolWriterIsolation(t *testing.T) {
 	im := compileImage(t, nrevSrc, "nrev([1,2,3], R), write(R), nl.")
-	pool := engine.NewPool(machine.Config{}, 2)
+	pool := engine.New(engine.WithPoolSize(2))
 	var wg sync.WaitGroup
 	errs := make(chan error, 8)
 	for g := 0; g < 8; g++ {
@@ -207,7 +207,7 @@ func TestPoolWriterIsolation(t *testing.T) {
 // first query already reports warm-cache hit ratios.
 func TestPoolWarm(t *testing.T) {
 	im := compileImage(t, nrevSrc, "nrev([1,2,3,4,5,6,7,8,9,10], R).")
-	pool := engine.NewPool(machine.Config{}, 1)
+	pool := engine.New(engine.WithPoolSize(1))
 	if err := pool.Warm(context.Background(), im); err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func TestPoolWarm(t *testing.T) {
 func TestPoolBudget(t *testing.T) {
 	spin := compileImage(t, "spin :- spin.\n", "spin.")
 	good := compileImage(t, nrevSrc, "nrev([1,2], R).")
-	pool := engine.NewPool(machine.Config{}, 1)
+	pool := engine.New(engine.WithPoolSize(1))
 	_, err := pool.Query(context.Background(), spin, engine.WithBudget(10_000))
 	if !errors.Is(err, machine.ErrStepBudget) {
 		t.Fatalf("spin query: %v, want ErrStepBudget", err)

@@ -11,7 +11,6 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/machine"
 	"repro/internal/trace"
 )
 
@@ -50,7 +49,7 @@ func TestPoolTraceRace(t *testing.T) {
 		}
 		jobs = append(jobs, job{prog: prog, query: pq.query, want: sol.String()})
 	}
-	pool := engine.NewPool(machine.Config{}, 4)
+	pool := engine.New(engine.WithPoolSize(4))
 	agg := pool.EnableProfiling()
 
 	// Compile the pool images once, up front (compilation shares the

@@ -1,0 +1,650 @@
+// Package server is the kcmd network front-end: an HTTP/JSON daemon
+// over the warm-machine pool. The KCM of the paper is a co-processor
+// that serves logic queries to a host; this package is the modern
+// analogue — compile-once images served to many network clients, with
+// per-request deadlines and step budgets mapped onto the machine's
+// resumable RunFor sessions, backpressure from budget-suspended
+// sessions parked in a server-side table, and a graceful drain that
+// finishes in-flight queries on SIGTERM.
+//
+// The handler discipline matters: a pooled machine must never be held
+// across a network write (a slow client would hold a machine hostage;
+// kcmlint enforces this). Handlers therefore delegate to writer-free
+// run functions that lease a session, render solutions into wire
+// values, and release or park the machine before the handler touches
+// the ResponseWriter; the streaming path decouples through a channel
+// between the enumerator goroutine (owns the machine) and the handler
+// goroutine (owns the connection).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/machine"
+	"repro/internal/wire"
+)
+
+// Config describes a daemon: its programs and its limits.
+type Config struct {
+	// Programs maps a program name to its Prolog source text.
+	Programs map[string]string
+	// PoolOptions configure the machine pool (engine.WithPoolSize,
+	// engine.WithWarm, engine.WithFusion, engine.WithProfiling, ...).
+	PoolOptions []engine.PoolOption
+	// DefaultBudget is the per-slice step budget when a request
+	// carries none (default 50M instructions).
+	DefaultBudget uint64
+	// MaxBudget clamps client-supplied budgets (default 1G).
+	MaxBudget uint64
+	// DefaultTimeout bounds a request's execution wall-clock time
+	// when the request carries none (default 30s).
+	DefaultTimeout time.Duration
+	// IdleTimeout is how long a parked session may sit untouched
+	// before the janitor evicts it (default 60s).
+	IdleTimeout time.Duration
+	// MaxSessions caps the session table (default 4x pool size).
+	MaxSessions int
+}
+
+// Server serves the wire protocol over an engine.Pool.
+type Server struct {
+	cfg   Config
+	pool  *engine.Pool
+	progs map[string]*core.Program
+
+	imgMu  sync.Mutex
+	images map[imageKey]*asm.Image
+
+	sessions *table
+	draining atomic.Bool
+
+	totMu  sync.Mutex
+	totals wire.Totals
+
+	httpSrv  *http.Server
+	listener net.Listener
+	janitor  chan struct{} // closed to stop the eviction loop
+	wg       sync.WaitGroup
+}
+
+// imageKey identifies one compile-once image: a goal text against a
+// named program.
+type imageKey struct {
+	program string
+	goal    string
+}
+
+// New builds a server from cfg, parsing every program source.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Programs) == 0 {
+		return nil, fmt.Errorf("server: no programs to serve")
+	}
+	if cfg.DefaultBudget == 0 {
+		cfg.DefaultBudget = 50_000_000
+	}
+	if cfg.MaxBudget == 0 {
+		cfg.MaxBudget = 1_000_000_000
+	}
+	if cfg.DefaultTimeout == 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	pool := engine.New(cfg.PoolOptions...)
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = 4 * pool.Size()
+	}
+	progs := make(map[string]*core.Program, len(cfg.Programs))
+	for name, src := range cfg.Programs {
+		p, err := core.Load(src)
+		if err != nil {
+			return nil, fmt.Errorf("server: program %q: %w", name, err)
+		}
+		progs[name] = p
+	}
+	return &Server{
+		cfg:      cfg,
+		pool:     pool,
+		progs:    progs,
+		images:   make(map[imageKey]*asm.Image),
+		sessions: newTable(cfg.MaxSessions),
+		janitor:  make(chan struct{}),
+	}, nil
+}
+
+// Pool exposes the machine pool (stats, profiling aggregate).
+func (s *Server) Pool() *engine.Pool { return s.pool }
+
+// Handler returns the daemon's route table; it is also what Serve
+// installs, so tests can drive the server through httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/next", s.handleNext)
+	mux.HandleFunc("POST /v1/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// Serve starts the eviction janitor and serves HTTP on l until Drain
+// (or a listener error). It returns http.ErrServerClosed after a
+// clean drain, mirroring net/http.
+func (s *Server) Serve(l net.Listener) error {
+	s.listener = l
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.wg.Add(1)
+	go s.evictLoop()
+	return s.httpSrv.Serve(l)
+}
+
+// Addr is the bound listener address (valid after Serve's listener is
+// passed in; useful with ":0").
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// evictLoop reaps idle sessions until the janitor channel closes.
+func (s *Server) evictLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.IdleTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitor:
+			return
+		case <-tick.C:
+			for _, e := range s.sessions.evictIdle(s.cfg.IdleTimeout) {
+				s.account(e.sess, false)
+			}
+		}
+	}
+}
+
+// Drain shuts the daemon down gracefully: stop accepting new queries,
+// wait for in-flight requests, then complete every parked session so
+// no accepted query is abandoned. Bounded by ctx; safe to call once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	for _, e := range s.sessions.drainAll(ctx) {
+		s.account(e.sess, false)
+	}
+	close(s.janitor)
+	s.wg.Wait()
+	return err
+}
+
+// image returns the compile-once image for (program, goal), compiling
+// it on first use. Compilation is serialized: the compiler mutates
+// the program's symbol table.
+func (s *Server) image(program, goal string) (*asm.Image, error) {
+	if program == "" {
+		if len(s.progs) == 1 {
+			for name := range s.progs {
+				program = name
+			}
+		} else {
+			return nil, fmt.Errorf("several programs loaded; name one")
+		}
+	}
+	prog, ok := s.progs[program]
+	if !ok {
+		return nil, fmt.Errorf("unknown program %q", program)
+	}
+	key := imageKey{program: program, goal: goal}
+	s.imgMu.Lock()
+	defer s.imgMu.Unlock()
+	if im, ok := s.images[key]; ok {
+		return im, nil
+	}
+	im, err := prog.CompileQuery(goal)
+	if err != nil {
+		return nil, err
+	}
+	s.images[key] = im
+	return im, nil
+}
+
+// clampBudget applies the request -> default -> max budget policy.
+func (s *Server) clampBudget(req uint64) uint64 {
+	b := req
+	if b == 0 {
+		b = s.cfg.DefaultBudget
+	}
+	if b > s.cfg.MaxBudget {
+		b = s.cfg.MaxBudget
+	}
+	return b
+}
+
+// runCtx derives the execution context for one request slice.
+func (s *Server) runCtx(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// account folds a finished session's counters into the daemon totals.
+// delivered marks outcomes already counted per solution; the rest of
+// the counters are cumulative per session, added exactly once when
+// the session leaves the server.
+func (s *Server) account(sess *engine.Session, errored bool) {
+	res := sess.Result()
+	s.totMu.Lock()
+	defer s.totMu.Unlock()
+	s.totals.Queries++
+	s.totals.Solutions += uint64(sess.Delivered())
+	if errored {
+		s.totals.Errors++
+	} else if sess.Delivered() == 0 {
+		s.totals.Failures++
+	}
+	s.totals.Cycles += res.Stats.Cycles
+	s.totals.Inferences += res.Stats.Inferences
+	s.totals.GCCollections += res.GC.Collections
+	s.totals.GCCycles += res.GC.Cycles
+	s.totals.FusionDispatch += res.Fusion.Dispatches
+	s.totals.FusedSteps += res.Fusion.FusedSteps
+}
+
+// counters renders a session-cumulative machine.Result on the wire.
+func counters(res machine.Result) *wire.Counters {
+	return &wire.Counters{
+		Cycles:        res.Stats.Cycles,
+		Instructions:  res.Stats.Instrs,
+		Inferences:    res.Stats.Inferences,
+		Millis:        res.Stats.Millis(),
+		GCCollections: res.GC.Collections,
+		GCCycles:      res.GC.Cycles,
+		FusedSteps:    res.Fusion.FusedSteps,
+	}
+}
+
+// bindings renders a solution's named variables.
+func bindings(sol *core.Solution) map[string]string {
+	if sol == nil || len(sol.Vars) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(sol.Vars))
+	for name, t := range sol.Bindings() {
+		out[name] = t.String()
+	}
+	return out
+}
+
+// errorReply builds the terminal error body.
+func errorReply(err error) wire.Reply {
+	return wire.Reply{Status: wire.StatusError, Error: err.Error()}
+}
+
+// --- the four verbs ---
+
+// handleQuery starts a query. It never touches a machine itself: the
+// writer-free runQuery/streamQuery own the session, and this function
+// only serializes their wire values onto the connection.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req wire.QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply(fmt.Errorf("bad request: %w", err)))
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorReply(errTableClosed))
+		return
+	}
+	if req.Stream {
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		s.streamToWriter(ctx, cancel, w, req)
+		return
+	}
+	rep, code := s.runQuery(r.Context(), req)
+	writeJSON(w, code, rep)
+}
+
+// runQuery leases a session, runs the first slice, and either
+// completes (releasing the machine) or parks the session for
+// next/cancel. No network writes happen here.
+func (s *Server) runQuery(ctx context.Context, req wire.QueryRequest) (wire.Reply, int) {
+	im, err := s.image(req.Program, req.Goal)
+	if err != nil {
+		s.totMu.Lock()
+		s.totals.Queries++
+		s.totals.Errors++
+		s.totMu.Unlock()
+		return errorReply(err), http.StatusBadRequest
+	}
+	runCtx, cancel := s.runCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	sess, err := s.pool.Begin(runCtx, im, engine.WithBudget(s.clampBudget(req.Budget)))
+	if err != nil {
+		// Admission control: every machine is leased and none freed
+		// up before the deadline.
+		return errorReply(err), http.StatusServiceUnavailable
+	}
+	ok := sess.Next(runCtx)
+	return s.settle(sess, req.Goal, ok, req.Enumerate)
+}
+
+// settle turns a Next outcome into a wire reply, closing or parking
+// the session. Shared by query and next.
+func (s *Server) settle(sess *engine.Session, goal string, ok, keep bool) (wire.Reply, int) {
+	switch {
+	case ok:
+		sol := sess.Solution()
+		rep := wire.Reply{
+			Status:    wire.StatusYes,
+			Bindings:  bindings(sol),
+			Solutions: sess.Delivered(),
+			Stats:     counters(sol.Result),
+		}
+		if keep {
+			e, err := s.sessions.add(goal, sess)
+			if err != nil {
+				sess.Close()
+				s.account(sess, false)
+				rep.Error = err.Error() // delivered, but not resumable
+				return rep, http.StatusOK
+			}
+			rep.Session = e.id
+			return rep, http.StatusOK
+		}
+		sess.Close()
+		s.account(sess, false)
+		return rep, http.StatusOK
+	case sess.Suspended() || resumableErr(sess):
+		// Budget or request deadline ran out mid-search: park the
+		// session; the client resumes with next or gives up with
+		// cancel. This is the backpressure path.
+		e, err := s.sessions.add(goal, sess)
+		if err != nil {
+			sess.Close()
+			s.account(sess, true)
+			return errorReply(fmt.Errorf("suspended and cannot park: %w", err)),
+				http.StatusServiceUnavailable
+		}
+		return wire.Reply{
+			Status:    wire.StatusSuspended,
+			Session:   e.id,
+			Solutions: sess.Delivered(),
+		}, http.StatusOK
+	case sess.Err() != nil:
+		err := sess.Err()
+		sess.Close()
+		s.account(sess, true)
+		return errorReply(err), http.StatusUnprocessableEntity
+	default:
+		// Search exhausted: no (more) solutions.
+		rep := wire.Reply{
+			Status:    wire.StatusNo,
+			Solutions: sess.Delivered(),
+			Stats:     counters(sess.Result()),
+		}
+		sess.Close()
+		s.account(sess, false)
+		return rep, http.StatusOK
+	}
+}
+
+// resumableErr reports a context-shaped session error (deadline or
+// cancellation with the machine intact).
+func resumableErr(sess *engine.Session) bool {
+	err := sess.Err()
+	return err != nil &&
+		(errors.Is(err, machine.ErrDeadline) || errors.Is(err, machine.ErrCancelled))
+}
+
+// handleNext resumes a parked session by one slice.
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	var req wire.NextRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply(fmt.Errorf("bad request: %w", err)))
+		return
+	}
+	rep, code := s.runNext(r.Context(), req)
+	writeJSON(w, code, rep)
+}
+
+// runNext is the writer-free body of next-solution.
+func (s *Server) runNext(ctx context.Context, req wire.NextRequest) (wire.Reply, int) {
+	e, ok := s.sessions.get(req.Session)
+	if !ok {
+		return errorReply(fmt.Errorf("unknown session %q", req.Session)), http.StatusNotFound
+	}
+	e.ops.Lock()
+	defer e.ops.Unlock()
+	if e.done {
+		// Lost the race with cancel, eviction or drain.
+		return errorReply(fmt.Errorf("session %q closed", req.Session)), http.StatusNotFound
+	}
+	e.touch()
+	if req.Budget > 0 {
+		e.sess.SetBudget(s.clampBudget(req.Budget))
+	}
+	runCtx, cancel := s.runCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	ok = e.sess.Next(runCtx)
+	if ok || e.sess.Suspended() || resumableErr(e.sess) {
+		e.touch()
+		rep := wire.Reply{Session: e.id, Solutions: e.sess.Delivered()}
+		if ok {
+			sol := e.sess.Solution()
+			rep.Status = wire.StatusYes
+			rep.Bindings = bindings(sol)
+			rep.Stats = counters(sol.Result)
+		} else {
+			rep.Status = wire.StatusSuspended
+		}
+		return rep, http.StatusOK
+	}
+	// Terminal: exhausted or faulted — unpark and release the machine.
+	e.done = true
+	s.sessions.remove(e.id)
+	if err := e.sess.Err(); err != nil {
+		e.sess.Close()
+		s.account(e.sess, true)
+		return errorReply(err), http.StatusUnprocessableEntity
+	}
+	rep := wire.Reply{
+		Status:    wire.StatusNo,
+		Solutions: e.sess.Delivered(),
+		Stats:     counters(e.sess.Result()),
+	}
+	e.sess.Close()
+	s.account(e.sess, false)
+	return rep, http.StatusOK
+}
+
+// handleCancel discards a parked session.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var req wire.CancelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply(fmt.Errorf("bad request: %w", err)))
+		return
+	}
+	e, ok := s.sessions.get(req.Session)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorReply(fmt.Errorf("unknown session %q", req.Session)))
+		return
+	}
+	e.ops.Lock()
+	already := e.done
+	if !e.done {
+		e.done = true
+		e.sess.Close()
+	}
+	e.ops.Unlock()
+	s.sessions.remove(e.id)
+	if !already {
+		s.account(e.sess, false)
+	}
+	writeJSON(w, http.StatusOK, wire.Reply{
+		Status:    wire.StatusCancelled,
+		Session:   e.id,
+		Solutions: e.sess.Delivered(),
+	})
+}
+
+// handleStats is the /metrics-style snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ps := s.pool.Stats()
+	s.sessions.mu.Lock()
+	ss := wire.SessionStats{
+		Active:  len(s.sessions.entries),
+		Created: s.sessions.created,
+		Evicted: s.sessions.evicted,
+		Drained: s.sessions.drained,
+	}
+	s.sessions.mu.Unlock()
+	s.totMu.Lock()
+	tot := s.totals
+	s.totMu.Unlock()
+	if agg := s.pool.Profile(); agg != nil {
+		tot.ProfiledPredCnt = len(agg.Rows())
+	}
+	names := make([]string, 0, len(s.progs))
+	for name := range s.progs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, wire.StatsReply{
+		Programs: names,
+		Pool: wire.PoolStats{
+			Size: ps.Size, Images: ps.Images, Built: ps.Built,
+			Idle: ps.Idle, InUse: ps.InUse,
+		},
+		Sessions: ss,
+		Totals:   tot,
+		Draining: s.draining.Load(),
+	})
+}
+
+// --- streaming ---
+
+// streamToWriter runs the enumeration in a separate goroutine and
+// copies its wire values onto the connection as NDJSON, flushing per
+// line. The enumerator owns the machine; this function owns the
+// network. A write failure cancels ctx so the enumerator stops and
+// the session is released.
+func (s *Server) streamToWriter(ctx context.Context, cancel context.CancelFunc, w http.ResponseWriter, req wire.QueryRequest) {
+	lines := make(chan wire.Reply, 16)
+	go s.streamQuery(ctx, req, lines)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for rep := range lines {
+		if err := enc.Encode(rep); err != nil {
+			cancel() // client went away; unblock the enumerator
+			for range lines {
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// streamQuery enumerates every solution (up to req.Limit) into the
+// lines channel and closes it. It holds the session for the whole
+// request but never sees the connection.
+func (s *Server) streamQuery(ctx context.Context, req wire.QueryRequest, lines chan<- wire.Reply) {
+	defer close(lines)
+	im, err := s.image(req.Program, req.Goal)
+	if err != nil {
+		s.totMu.Lock()
+		s.totals.Queries++
+		s.totals.Errors++
+		s.totMu.Unlock()
+		s.send(ctx, lines, errorReply(err))
+		return
+	}
+	runCtx, cancel := s.runCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	sess, err := s.pool.Begin(runCtx, im, engine.WithBudget(s.clampBudget(req.Budget)))
+	if err != nil {
+		s.send(ctx, lines, errorReply(err))
+		return
+	}
+	defer func() {
+		errored := sess.Err() != nil && !resumableErr(sess)
+		sess.Close()
+		s.account(sess, errored)
+	}()
+	for {
+		if sess.Next(runCtx) {
+			sol := sess.Solution()
+			ok := s.send(ctx, lines, wire.Reply{
+				Status:    wire.StatusYes,
+				Bindings:  bindings(sol),
+				Solutions: sess.Delivered(),
+			})
+			if !ok {
+				return
+			}
+			if req.Limit > 0 && sess.Delivered() >= req.Limit {
+				break
+			}
+			continue
+		}
+		if sess.Suspended() {
+			// Budget slices keep the loop interruptible; streaming
+			// rides straight into the next slice.
+			continue
+		}
+		if err := sess.Err(); err != nil {
+			s.send(ctx, lines, errorReply(err))
+			return
+		}
+		break // exhausted
+	}
+	s.send(ctx, lines, wire.Reply{
+		Status:    wire.StatusDone,
+		Solutions: sess.Delivered(),
+		Stats:     counters(sess.Result()),
+	})
+}
+
+// send delivers one line unless the writer has gone away.
+func (s *Server) send(ctx context.Context, lines chan<- wire.Reply, rep wire.Reply) bool {
+	select {
+	case lines <- rep:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// writeJSON writes one JSON body with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The client went away mid-body; nothing to do.
+		_ = err
+	}
+}

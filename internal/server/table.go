@@ -1,0 +1,192 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// The session table is where the daemon parks budget-suspended and
+// mid-enumeration queries between requests. Each entry owns one
+// engine.Session — and with it one pooled machine — so the table's
+// size bounds how many machines the network side can hold away from
+// the pool: that, plus the pool's blocking acquire, is the server's
+// backpressure. Idle entries are reaped by a janitor so an abandoned
+// client cannot strand a machine forever, and Drain completes every
+// parked enumeration before shutdown.
+
+// errTableClosed rejects parking attempts once a drain has begun.
+var errTableClosed = errors.New("server: draining, not accepting new sessions")
+
+// errTableFull rejects parking attempts beyond the configured cap.
+var errTableFull = errors.New("server: session table full")
+
+// entry is one parked session. ops serializes the session (Next,
+// Close) across request handlers, the janitor and the drain; done
+// marks the session closed so a lock loser does not touch a released
+// machine.
+type entry struct {
+	id       string
+	goal     string
+	ops      sync.Mutex
+	sess     *engine.Session
+	done     bool
+	lastUsed atomic.Int64 // unix nanos of the last request touch
+}
+
+// touch timestamps the entry against idle eviction.
+func (e *entry) touch() { e.lastUsed.Store(time.Now().UnixNano()) }
+
+// table is the id -> entry map plus its lifecycle counters. The map
+// lock is never held while an entry's ops lock is taken.
+type table struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	closed  bool
+	max     int
+
+	created uint64
+	evicted uint64
+	drained uint64
+}
+
+func newTable(max int) *table {
+	return &table{entries: make(map[string]*entry), max: max}
+}
+
+// add parks a session and returns its new entry.
+func (t *table) add(goal string, sess *engine.Session) (*entry, error) {
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{id: id, goal: goal, sess: sess}
+	e.touch()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errTableClosed
+	}
+	if t.max > 0 && len(t.entries) >= t.max {
+		return nil, errTableFull
+	}
+	t.entries[id] = e
+	t.created++
+	return e, nil
+}
+
+// get looks an entry up without locking it; the caller takes e.ops
+// and must re-check e.done afterwards.
+func (t *table) get(id string) (*entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	return e, ok
+}
+
+// remove drops the id from the map (the caller closes the session).
+func (t *table) remove(id string) {
+	t.mu.Lock()
+	delete(t.entries, id)
+	t.mu.Unlock()
+}
+
+// active is the number of parked sessions.
+func (t *table) active() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// snapshot returns the current entries, for eviction and drain scans.
+func (t *table) snapshot() []*entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// evictIdle closes every session idle for longer than maxIdle and
+// returns the closed entries (the server accounts their counters).
+// An entry busy in a request simply waits its turn: the ops lock is
+// taken, and lastUsed is re-checked after it is held, so a session a
+// client just touched survives.
+func (t *table) evictIdle(maxIdle time.Duration) []*entry {
+	cutoff := time.Now().Add(-maxIdle).UnixNano()
+	var closed []*entry
+	for _, e := range t.snapshot() {
+		if e.lastUsed.Load() > cutoff {
+			continue
+		}
+		e.ops.Lock()
+		if !e.done && e.lastUsed.Load() <= cutoff {
+			e.done = true
+			e.sess.Close()
+			t.remove(e.id)
+			closed = append(closed, e)
+		}
+		e.ops.Unlock()
+	}
+	t.mu.Lock()
+	t.evicted += uint64(len(closed))
+	t.mu.Unlock()
+	return closed
+}
+
+// drainAll stops accepting new sessions, then completes every parked
+// enumeration: each suspended session is resumed and run until its
+// search exhausts (or ctx expires), so no query the server accepted
+// is left half-done. It returns the closed entries.
+func (t *table) drainAll(ctx context.Context) []*entry {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+
+	var closed []*entry
+	for _, e := range t.snapshot() {
+		e.ops.Lock()
+		if e.done {
+			e.ops.Unlock()
+			continue
+		}
+		finished := true
+		for e.sess.Next(ctx) || e.sess.Suspended() {
+			if ctx.Err() != nil {
+				finished = false
+				break
+			}
+		}
+		if e.sess.Err() != nil {
+			finished = false
+		}
+		e.done = true
+		e.sess.Close()
+		e.ops.Unlock()
+		t.remove(e.id)
+		closed = append(closed, e)
+		if finished {
+			t.mu.Lock()
+			t.drained++
+			t.mu.Unlock()
+		}
+	}
+	return closed
+}
+
+// newSessionID mints an unguessable 16-hex-digit session id.
+func newSessionID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,138 @@
+// Package wire defines the kcmd query protocol: the JSON request and
+// response bodies exchanged between the daemon (internal/server) and
+// its clients (internal/client). It is deliberately dependency-free —
+// the wire format is the system's stable public face, the part that
+// must outlive the runtime underneath it (the SICStus lesson: a
+// stable external query API is what lets the engine keep changing).
+//
+// The protocol is one endpoint per verb:
+//
+//	POST /v1/query    QueryRequest  -> Reply (or an NDJSON stream)
+//	POST /v1/next     NextRequest   -> Reply
+//	POST /v1/cancel   CancelRequest -> Reply
+//	GET  /v1/stats                  -> StatsReply
+//
+// A query either completes within the request (status "yes"/"no"), or
+// parks a budget-suspended session server-side (status "suspended"
+// plus a session id) which the client drives with next/cancel. With
+// "stream" set, the response is chunked application/x-ndjson: one
+// Reply line per solution, then a terminal line whose Status is
+// "done" (with the final counters) or "error".
+package wire
+
+// Status values carried by Reply.Status.
+const (
+	StatusYes       = "yes"       // a solution; bindings populated
+	StatusNo        = "no"        // search exhausted without (more) solutions
+	StatusSuspended = "suspended" // step budget or request deadline hit; resume with next
+	StatusDone      = "done"      // terminal stream summary line
+	StatusCancelled = "cancelled" // session closed by cancel
+	StatusError     = "error"     // Error holds the message
+)
+
+// QueryRequest starts a query against a loaded program.
+type QueryRequest struct {
+	// Program names one of the daemon's loaded programs. It may be
+	// empty when the daemon serves exactly one program.
+	Program string `json:"program,omitempty"`
+	// Goal is the query text, e.g. "nrev([1,2,3], R).".
+	Goal string `json:"goal"`
+	// Enumerate keeps the session open after the first solution so
+	// the client can drive it with next-solution requests.
+	Enumerate bool `json:"enumerate,omitempty"`
+	// Stream switches the response to NDJSON: every solution as its
+	// own line within this one request.
+	Stream bool `json:"stream,omitempty"`
+	// Limit bounds a streamed enumeration (0 = all solutions).
+	Limit int `json:"limit,omitempty"`
+	// Budget bounds each execution slice to n simulated instructions
+	// (0 = server default). Exhausting it suspends the session rather
+	// than failing the query.
+	Budget uint64 `json:"budget,omitempty"`
+	// TimeoutMS bounds the request's execution wall-clock time (0 =
+	// server default). Hitting it suspends the session.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// NextRequest resumes an enumeration: the next solution of a parked
+// session, or the continuation of a suspended slice.
+type NextRequest struct {
+	Session string `json:"session"`
+	// Budget optionally replaces the session's per-slice budget.
+	Budget    uint64 `json:"budget,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// CancelRequest discards a parked session.
+type CancelRequest struct {
+	Session string `json:"session"`
+}
+
+// Counters is the per-query slice of the machine's simulated
+// statistics, cumulative across an enumeration.
+type Counters struct {
+	Cycles        uint64  `json:"cycles"`
+	Instructions  uint64  `json:"instructions"`
+	Inferences    uint64  `json:"inferences"`
+	Millis        float64 `json:"millis"` // simulated, at 80 ns/cycle
+	GCCollections uint64  `json:"gc_collections,omitempty"`
+	GCCycles      uint64  `json:"gc_cycles,omitempty"`
+	FusedSteps    uint64  `json:"fused_steps,omitempty"`
+}
+
+// Reply is the response body of query, next and cancel — and, in a
+// stream, every NDJSON line.
+type Reply struct {
+	Status string `json:"status"`
+	// Session identifies a parked enumeration (present when the
+	// server kept the query alive for next/cancel).
+	Session string `json:"session,omitempty"`
+	// Bindings maps query variable names to rendered terms.
+	Bindings map[string]string `json:"bindings,omitempty"`
+	// Solutions counts solutions delivered so far (stream summary and
+	// suspended replies).
+	Solutions int       `json:"solutions,omitempty"`
+	Stats     *Counters `json:"stats,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// PoolStats mirrors engine.PoolStats on the wire.
+type PoolStats struct {
+	Size   int `json:"size"`
+	Images int `json:"images"`
+	Built  int `json:"built"`
+	Idle   int `json:"idle"`
+	InUse  int `json:"in_use"`
+}
+
+// SessionStats counts the server's session-table activity.
+type SessionStats struct {
+	Active  int    `json:"active"`
+	Created uint64 `json:"created"`
+	Evicted uint64 `json:"evicted"` // idle sessions reaped by the janitor
+	Drained uint64 `json:"drained"` // suspended sessions completed at shutdown
+}
+
+// Totals aggregates the simulated work the daemon has served.
+type Totals struct {
+	Queries         uint64 `json:"queries"`
+	Solutions       uint64 `json:"solutions"`
+	Failures        uint64 `json:"failures"` // goals that exhausted with no solution
+	Errors          uint64 `json:"errors"`   // compile or machine faults
+	Cycles          uint64 `json:"cycles"`
+	Inferences      uint64 `json:"inferences"`
+	GCCollections   uint64 `json:"gc_collections"`
+	GCCycles        uint64 `json:"gc_cycles"`
+	FusionDispatch  uint64 `json:"fusion_dispatches"`
+	FusedSteps      uint64 `json:"fused_steps"`
+	ProfiledPredCnt int    `json:"profiled_predicates,omitempty"`
+}
+
+// StatsReply is the /v1/stats body.
+type StatsReply struct {
+	Programs []string     `json:"programs"`
+	Pool     PoolStats    `json:"pool"`
+	Sessions SessionStats `json:"sessions"`
+	Totals   Totals       `json:"totals"`
+	Draining bool         `json:"draining"`
+}

@@ -74,10 +74,13 @@ if ! diff -u "$tabfuse" "$tabnofuse"; then
     exit 1
 fi
 
+echo '== kcmd smoke (ephemeral port, scripted query + stream + cancel, clean drain)'
+go run ./cmd/kcmd -smoke
+
 echo '== kcmvet (strict: analyzer warnings are errors)'
 go run ./cmd/kcmvet -strict -bench examples/*/main.go
 
-echo '== kcmlint (host-source lint: sentinel errors, hot-loop allocs, Kind switches)'
+echo '== kcmlint (host-source lint: sentinel errors, hot-loop allocs, Kind switches, handler discipline)'
 go run ./cmd/kcmlint .
 
 echo '== host-bench smoke (warm nrev, fused handlers on, must run allocation-free)'
