@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify vet lint fmt bench tables
+.PHONY: build test verify vet lint fmt bench cowbench tables
 
 # BENCH_N selects the BENCH_<n>.json the host benchmarks write.
 BENCH_N ?= 0
@@ -32,6 +32,11 @@ fmt:
 # scripts/benchcmp.sh.
 bench:
 	sh scripts/hostbench.sh $(BENCH_N)
+
+# Copy-on-write tenant benchmarks: per-tenant setup cost and retained
+# heap for COW clones vs full per-tenant recompiles (BENCH_9.json).
+cowbench:
+	sh scripts/cowbench.sh 9
 
 # Simulated results: the paper's tables (section 4).
 tables:

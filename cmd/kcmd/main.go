@@ -46,6 +46,9 @@ import (
 
 // demoSrc is the built-in list library served by -demo and -smoke.
 const demoSrc = `
+:- dynamic(color/1).
+color(white).
+likes(X) :- color(X).
 app([], L, L).
 app([H|T], L, [H|R]) :- app(T, L, R).
 nrev([], []).
@@ -216,7 +219,33 @@ func runSmoke(cfg server.Config, drainT time.Duration) error {
 		return fmt.Errorf("stream: %d solutions, final %+v", streamed, fin)
 	}
 
-	// 5. Stats reflect the traffic.
+	// 5. Dynamic database: assert into a tenant, query it, retract,
+	// and check the shared static program never saw the delta.
+	rep, err = c.Assert(ctx, wire.AssertRequest{Tenant: "smoke", Clause: "color(red)"})
+	if err != nil || rep.Status != wire.StatusYes || rep.Version == 0 {
+		return fmt.Errorf("assert: %+v, %w", rep, err)
+	}
+	var liked []string
+	if _, err = c.Stream(ctx, wire.QueryRequest{Goal: "likes(X).", Tenant: "smoke"},
+		func(line wire.Reply) bool { liked = append(liked, line.Bindings["X"]); return true }); err != nil {
+		return err
+	}
+	if len(liked) != 2 || liked[0] != "white" || liked[1] != "red" {
+		return fmt.Errorf("tenant query after assert: %v", liked)
+	}
+	if rep, err = c.Retract(ctx, wire.RetractRequest{Tenant: "smoke", Clause: "color(red)"}); err != nil || rep.Status != wire.StatusYes {
+		return fmt.Errorf("retract: %+v, %w", rep, err)
+	}
+	if rep, err = c.Query(ctx, wire.QueryRequest{Goal: "likes(X).", Tenant: "smoke", Enumerate: false}); err != nil ||
+		rep.Status != wire.StatusYes || rep.Bindings["X"] != "white" {
+		return fmt.Errorf("tenant query after retract: %+v, %w", rep, err)
+	}
+	if rep, err = c.Query(ctx, wire.QueryRequest{Goal: "likes(X)."}); err != nil ||
+		rep.Status != wire.StatusYes || rep.Bindings["X"] != "white" {
+		return fmt.Errorf("static program after tenant mutations: %+v, %w", rep, err)
+	}
+
+	// 6. Stats reflect the traffic.
 	st, err := c.Stats(ctx)
 	if err != nil {
 		return err
@@ -224,8 +253,11 @@ func runSmoke(cfg server.Config, drainT time.Duration) error {
 	if st.Totals.Queries == 0 || st.Totals.Solutions < 9 || st.Sessions.Created < 2 {
 		return fmt.Errorf("stats: %+v", st)
 	}
+	if st.Tenants != 1 {
+		return fmt.Errorf("stats tenants: %+v", st)
+	}
 
-	// 6. Drain with a suspended session parked: it must be completed
+	// 7. Drain with a suspended session parked: it must be completed
 	// and its machine returned to the pool.
 	rep, err = c.Query(ctx, wire.QueryRequest{
 		Goal:   "nrev([1,2,3,4,5,6,7,8,9,10], R), member(X, [1,2,3]).",

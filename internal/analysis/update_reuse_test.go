@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// TestUpdateReusesUntouchedPredFacts pins the incremental contract the
+// dynamic database depends on: when Update is told one predicate's
+// range changed, predicates outside that range — and outside its
+// strongly-connected component — keep their exact *PredFacts values
+// (pointer identity), so a per-predicate mutation re-analyzes only
+// what it touched.
+func TestUpdateReusesUntouchedPredFacts(t *testing.T) {
+	k := func(n int32) word.Word { return word.FromInt(n) }
+	preds := []testPred{
+		{term.Ind("main", 0), []kcmisa.Instr{
+			{Op: kcmisa.PutConst, R2: 1, K: k(7)},
+			{Op: kcmisa.Call, L: 0, N: 1}, // patched to helper below
+			{Op: kcmisa.Proceed},
+		}},
+		{term.Ind("helper", 1), []kcmisa.Instr{
+			{Op: kcmisa.GetConst, R2: 1, K: k(7)},
+			{Op: kcmisa.Proceed},
+		}},
+		{term.Ind("aux", 0), []kcmisa.Instr{
+			{Op: kcmisa.PutConst, R2: 1, K: k(9)},
+			{Op: kcmisa.Call, L: 0, N: 1}, // patched to aux2 below
+			{Op: kcmisa.Proceed},
+		}},
+		{term.Ind("aux2", 1), []kcmisa.Instr{
+			{Op: kcmisa.GetConst, R2: 1, K: k(9)},
+			{Op: kcmisa.Proceed},
+		}},
+	}
+	// Two passes: lay out once to learn entry addresses, then encode
+	// with the call targets filled in.
+	_, entries := buildImage(t, 0, preds)
+	preds[0].code[1].L = int(entries[term.Ind("helper", 1)])
+	preds[2].code[1].L = int(entries[term.Ind("aux2", 1)])
+	code, entries := buildImage(t, 0, preds)
+
+	f1 := AnalyzeImage(code, 0, entries, nil)
+	if len(f1.Diags) != 0 {
+		t.Fatalf("diags: %s", diagString(f1.Diags))
+	}
+
+	// Mutate helper's constant in place (same shape, one word changed)
+	// and update over helper's range only.
+	hLo := entries[term.Ind("helper", 1)]
+	hf := f1.Pred(term.Ind("helper", 1))
+	if hf == nil || hf.Start != hLo {
+		t.Fatalf("helper facts missing or misplaced: %+v", hf)
+	}
+	preds[1].code[0].K = k(8)
+	code2, _ := buildImage(t, 0, preds)
+	if len(code2) != len(code) {
+		t.Fatalf("mutation changed the layout: %d -> %d words", len(code), len(code2))
+	}
+	changed := 0
+	for a := range code2 {
+		if code2[a] != code[a] {
+			if uint32(a) < hf.Start || uint32(a) >= hf.End {
+				t.Fatalf("word %d outside helper [%d,%d) changed", a, hf.Start, hf.End)
+			}
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("mutation changed nothing")
+	}
+
+	f2 := f1.Update(code2, 0, entries, nil, hf.Start, hf.End)
+	if len(f2.Diags) != 0 {
+		t.Fatalf("update diags: %s", diagString(f2.Diags))
+	}
+
+	for _, pi := range []term.Indicator{term.Ind("aux", 0), term.Ind("aux2", 1), term.Ind("main", 0)} {
+		if f2.Pred(pi) != f1.Pred(pi) {
+			t.Errorf("%v facts rebuilt by an update that did not touch it", pi)
+		}
+	}
+	if f2.Pred(term.Ind("helper", 1)) == f1.Pred(term.Ind("helper", 1)) {
+		t.Error("helper facts reused despite its code changing")
+	}
+}

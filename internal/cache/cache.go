@@ -340,6 +340,32 @@ func (c *Data) ResetStats() { c.stats = Stats{} }
 // ResetStats clears the counters of the code cache (contents stay).
 func (c *Code) ResetStats() { c.stats = Stats{} }
 
+// InvalidateRange drops every code-cache line whose address falls in
+// [start, end). The untimed dynamic-database load path writes physical
+// memory directly instead of storing through the cache, so the lines
+// it bypassed must be refetched; everything outside the range keeps
+// its residency.
+func (c *Code) InvalidateRange(start, end uint32) {
+	if end <= start {
+		return
+	}
+	if end-start < CodeWords {
+		for a := start; a < end; a++ {
+			ln := &c.lines[a%CodeWords]
+			if ln.valid && ln.va == a {
+				*ln = line{}
+			}
+		}
+		return
+	}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && ln.va >= start && ln.va < end {
+			*ln = line{}
+		}
+	}
+}
+
 // InvalidateRange drops every data-cache line whose address falls in
 // [start, end) of the given zone, discarding dirty contents: used when
 // a data page is handed over to the code space (the staged copy has

@@ -80,6 +80,24 @@ func (c *Client) Cancel(ctx context.Context, session string) (wire.Reply, error)
 	return rep, err
 }
 
+// Assert adds a clause to a tenant's dynamic database (front selects
+// asserta over assertz). The reply's Version is the tenant database
+// version the mutation produced.
+func (c *Client) Assert(ctx context.Context, req wire.AssertRequest) (wire.Reply, error) {
+	var rep wire.Reply
+	err := c.post(ctx, "/v1/assert", req, &rep)
+	return rep, err
+}
+
+// Retract removes the first variant-equal clause from a tenant's
+// dynamic database; the reply Status is "yes" when a clause was
+// removed and "no" when none matched.
+func (c *Client) Retract(ctx context.Context, req wire.RetractRequest) (wire.Reply, error) {
+	var rep wire.Reply
+	err := c.post(ctx, "/v1/retract", req, &rep)
+	return rep, err
+}
+
 // Stats fetches the daemon's /v1/stats snapshot.
 func (c *Client) Stats(ctx context.Context) (wire.StatsReply, error) {
 	var rep wire.StatsReply

@@ -1,0 +1,72 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/kcmisa"
+	"repro/internal/term"
+)
+
+// Dynamic-database entry points. The clause store (internal/dyndb)
+// recompiles a predicate's whole clause chain on every mutation, so
+// first-argument indexing — the switch_on_term dispatch compilePred
+// generates — is regenerated incrementally, and a goal is compiled
+// once into a position-independent module linked above whatever delta
+// a machine currently carries.
+
+// SetAuxBase seeds the auxiliary-predicate counter, so control
+// constructs in separately compiled blocks sharing one code space get
+// non-colliding $aux<N> names. AuxBase reads the counter back after a
+// compile, to be carried into the next one.
+func (c *Compiler) SetAuxBase(n int) { c.auxN = n }
+
+// AuxBase returns the current auxiliary-predicate counter.
+func (c *Compiler) AuxBase() int { return c.auxN }
+
+// StubPred is the compiled form of a dynamic predicate with no
+// clauses: a single fail instruction, so calling it backtracks like
+// any exhausted predicate.
+func StubPred(pi term.Indicator) *Pred {
+	return &Pred{PI: pi, Code: []kcmisa.Instr{{Op: kcmisa.Fail}}}
+}
+
+// CompileClauses compiles one predicate's full clause chain into a
+// standalone module: the predicate itself (with its switch_on_term
+// dispatch regenerated for the new chain) plus any control
+// auxiliaries its bodies need. Every clause must define pi; an empty
+// chain compiles to the fail stub.
+func (c *Compiler) CompileClauses(pi term.Indicator, clauses []term.Term) (*Module, error) {
+	for _, t := range clauses {
+		head, _ := splitClause(t)
+		if head == nil {
+			return nil, fmt.Errorf("compiler: %v is a directive, not a clause", t)
+		}
+		hpi, ok := term.TermIndicator(head)
+		if !ok {
+			return nil, fmt.Errorf("compiler: clause head %v is not callable", head)
+		}
+		if hpi != pi {
+			return nil, fmt.Errorf("compiler: clause for %v in the chain of %v", hpi, pi)
+		}
+	}
+	if len(clauses) == 0 {
+		return &Module{
+			Preds: map[term.Indicator]*Pred{pi: StubPred(pi)},
+			Order: []term.Indicator{pi},
+			Syms:  c.syms,
+		}, nil
+	}
+	return c.CompileProgram(clauses)
+}
+
+// CompileGoal compiles ?- goal into a standalone module holding only
+// the $query/0 entry and its control auxiliaries. Calls into program
+// predicates stay symbolic; the caller links the module against an
+// entry table (asm.LinkAt).
+func (c *Compiler) CompileGoal(goal term.Term) (*Module, error) {
+	m := &Module{Preds: map[term.Indicator]*Pred{}, Syms: c.syms}
+	if err := c.CompileQuery(m, goal); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

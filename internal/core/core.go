@@ -67,10 +67,22 @@ func (p *Program) CompileQuery(query string) (*asm.Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: query: %w", err)
 	}
-	c := compiler.New(p.syms)
-	mod, err := c.CompileProgram(p.clauses)
+	clauses, ds, err := p.runnableClauses()
 	if err != nil {
 		return nil, err
+	}
+	c := compiler.New(p.syms)
+	mod, err := c.CompileProgram(clauses)
+	if err != nil {
+		return nil, err
+	}
+	// A dynamic predicate with no clauses still exists (it fails);
+	// give it the same stub the clause-store base image would.
+	for _, pi := range ds.Order {
+		if _, ok := mod.Preds[pi]; !ok {
+			mod.Preds[pi] = compiler.StubPred(pi)
+			mod.Order = append(mod.Order, pi)
+		}
 	}
 	if err := c.CompileQuery(mod, goal); err != nil {
 		return nil, err

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/term"
+)
+
+// Dynamic-database front end: a program may declare predicates
+// dynamic with the standard directive
+//
+//	:- dynamic(p/2).
+//	:- dynamic((q/1, r/3)).
+//
+// The static compilation path (Query/Solutions) simply compiles the
+// declared predicates' initial clauses like any others — a purely
+// static program with the same clauses behaves identically. BaseImage
+// instead compiles every dynamic predicate as an empty stub and
+// returns the initial clauses separately, to seed a clause store
+// (internal/dyndb) layered above the shared boot image.
+
+// DynamicSet lists the predicates a program declares dynamic, in
+// declaration order, with the initial clauses the source gives them.
+type DynamicSet struct {
+	Order   []term.Indicator
+	Clauses map[term.Indicator][]term.Term
+}
+
+// directiveGoal returns G for :- G and ?- G directives.
+func directiveGoal(t term.Term) (term.Term, bool) {
+	c, ok := t.(*term.Compound)
+	if ok && (c.Functor == ":-" || c.Functor == "?-") && len(c.Args) == 1 {
+		return c.Args[0], true
+	}
+	return nil, false
+}
+
+// clauseHead returns the head of a clause term (the term itself for a
+// fact).
+func clauseHead(t term.Term) term.Term {
+	if c, ok := t.(*term.Compound); ok && c.Functor == ":-" && len(c.Args) == 2 {
+		return c.Args[0]
+	}
+	return t
+}
+
+// dynamicSpec flattens a dynamic/1 argument — pi, (pi, pi, ...) —
+// into indicators.
+func dynamicSpec(t term.Term, out *[]term.Indicator) error {
+	if c, ok := t.(*term.Compound); ok {
+		switch {
+		case c.Functor == "," && len(c.Args) == 2:
+			if err := dynamicSpec(c.Args[0], out); err != nil {
+				return err
+			}
+			return dynamicSpec(c.Args[1], out)
+		case c.Functor == "/" && len(c.Args) == 2:
+			name, okN := c.Args[0].(term.Atom)
+			ar, okA := c.Args[1].(term.Int)
+			if okN && okA && ar >= 0 && ar <= 255 {
+				*out = append(*out, term.Ind(name, int(ar)))
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("core: malformed dynamic spec %v (want name/arity)", t)
+}
+
+// partition splits the consulted clauses into static clauses and the
+// dynamic set. A dynamic declaration governs the whole program
+// wherever it appears; directives other than dynamic/1 are rejected.
+func (p *Program) partition() ([]term.Term, *DynamicSet, error) {
+	ds := &DynamicSet{Clauses: map[term.Indicator][]term.Term{}}
+	dyn := map[term.Indicator]bool{}
+	for _, t := range p.clauses {
+		g, ok := directiveGoal(t)
+		if !ok {
+			continue
+		}
+		c, isC := g.(*term.Compound)
+		if !isC || c.Functor != "dynamic" || len(c.Args) != 1 {
+			return nil, nil, fmt.Errorf("core: unsupported directive %v", t)
+		}
+		var pis []term.Indicator
+		if err := dynamicSpec(c.Args[0], &pis); err != nil {
+			return nil, nil, err
+		}
+		for _, pi := range pis {
+			if !dyn[pi] {
+				dyn[pi] = true
+				ds.Order = append(ds.Order, pi)
+			}
+		}
+	}
+	var static []term.Term
+	for _, t := range p.clauses {
+		if _, ok := directiveGoal(t); ok {
+			continue
+		}
+		if pi, ok := term.TermIndicator(clauseHead(t)); ok && dyn[pi] {
+			ds.Clauses[pi] = append(ds.Clauses[pi], t)
+			continue
+		}
+		static = append(static, t)
+	}
+	return static, ds, nil
+}
+
+// runnableClauses is the static compilation view: directives are
+// validated and dropped, and dynamic predicates' initial clauses are
+// kept in place — the reference semantics the differential tests
+// compare the clause store against. The dynamic set rides along so
+// the caller can stub out declared predicates left clauseless.
+func (p *Program) runnableClauses() ([]term.Term, *DynamicSet, error) {
+	_, ds, err := p.partition()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]term.Term, 0, len(p.clauses))
+	for _, t := range p.clauses {
+		if _, ok := directiveGoal(t); ok {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out, ds, nil
+}
+
+// BaseImage compiles the program's static predicates into a linked
+// boot image in which every dynamic predicate is an empty fail stub,
+// and returns the dynamic set whose initial clauses seed a clause
+// store. The image is immutable and shared: every pool machine boots
+// from it, and per-tenant deltas layer above it copy-on-write.
+func (p *Program) BaseImage() (*asm.Image, *DynamicSet, error) {
+	static, ds, err := p.partition()
+	if err != nil {
+		return nil, nil, err
+	}
+	c := compiler.New(p.syms)
+	mod, err := c.CompileProgram(static)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pi := range ds.Order {
+		if _, dup := mod.Preds[pi]; dup {
+			return nil, nil, fmt.Errorf("core: dynamic predicate %v collides with a static auxiliary", pi)
+		}
+		mod.Preds[pi] = compiler.StubPred(pi)
+		mod.Order = append(mod.Order, pi)
+	}
+	im, err := asm.Link(mod)
+	if err != nil {
+		return nil, nil, err
+	}
+	return im, ds, nil
+}

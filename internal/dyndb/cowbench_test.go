@@ -1,0 +1,170 @@
+package dyndb_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dyndb"
+	"repro/internal/reader"
+	"repro/internal/term"
+)
+
+// The copy-on-write benchmark pair: what does the K-th tenant cost?
+//
+// BenchmarkTenantCOW measures the intended design — one shared base
+// image, each new tenant a Clone (O(preds) map copy, zero code words)
+// plus one private assert. BenchmarkTenantFullCopy measures the
+// N-full-copies strawman it replaces: every tenant re-parses and
+// re-compiles the whole program into its own image. ns/op is
+// per-tenant setup latency; B/op is per-tenant allocation.
+// scripts/cowbench.sh records both in BENCH_9.json.
+
+// benchTenantSrc is the shared base program: the demo list library
+// plus enough static ballast that "recompile everything per tenant"
+// has a realistic price, and one dynamic predicate for tenant deltas.
+const benchTenantSrc = `
+:- dynamic(owns/2).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+last([X], X).
+last([_|T], X) :- last(T, X).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+perm([], []).
+perm(L, [H|T]) :- sel(H, L, R), perm(R, T).
+color(red). color(green). color(blue). color(white). color(black).
+shade(C) :- color(C).
+pair(X, Y) :- color(X), color(Y).
+`
+
+func benchBaseDB(tb testing.TB) *dyndb.DB {
+	tb.Helper()
+	p, err := core.Load(benchTenantSrc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	im, ds, err := p.BaseImage()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	db, err := dyndb.New(im, ds.Order)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, pi := range ds.Order {
+		if cls := ds.Clauses[pi]; len(cls) > 0 {
+			if _, err := db.Reload(pi, cls); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func tenantFact(tb testing.TB, i int) term.Term {
+	tb.Helper()
+	cl, err := reader.ParseTerm(fmt.Sprintf("owns(t%d, key%d) .", i, i))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cl
+}
+
+func BenchmarkTenantCOW(b *testing.B) {
+	base := benchBaseDB(b)
+	fact := tenantFact(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tenant := base.Clone()
+		if _, err := tenant.Assertz(fact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTenantFullCopy(b *testing.B) {
+	fact := tenantFact(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tenant := benchBaseDB(b)
+		if _, err := tenant.Assertz(fact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestTenantRetainedMemory complements the benchmarks' allocation
+// rates with *retained* heap — what K live tenants actually hold after
+// GC, the number that stands in for per-tenant RSS. Gated behind
+// KCM_COWBENCH=1 because it forces collections; scripts/cowbench.sh
+// runs it and parses the key=value lines.
+func TestTenantRetainedMemory(t *testing.T) {
+	if os.Getenv("KCM_COWBENCH") != "1" {
+		t.Skip("set KCM_COWBENCH=1 to run the retained-memory measurement")
+	}
+	const K = 200
+
+	heapNow := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	measure := func(mk func(i int) *dyndb.DB) uint64 {
+		tenants := make([]*dyndb.DB, 0, K)
+		before := heapNow()
+		for i := 0; i < K; i++ {
+			tenants = append(tenants, mk(i))
+		}
+		after := heapNow()
+		// Spot-check isolation so the measurement can't silently
+		// measure K handles to one shared mutable database.
+		if cls := tenants[3].Clauses(term.Ind("owns", 2)); len(cls) != 1 {
+			t.Fatalf("tenant 3 clause chain: %v", cls)
+		}
+		if v0, vK := tenants[0].Version(), tenants[K-1].Version(); v0 == 0 || vK == 0 {
+			t.Fatalf("unmutated tenants: versions %d, %d", v0, vK)
+		}
+		runtime.KeepAlive(tenants)
+		if after <= before {
+			return 0
+		}
+		return (after - before) / K
+	}
+
+	base := benchBaseDB(t)
+	cow := measure(func(i int) *dyndb.DB {
+		tenant := base.Clone()
+		if _, err := tenant.Assertz(tenantFact(t, i)); err != nil {
+			t.Fatal(err)
+		}
+		return tenant
+	})
+	full := measure(func(i int) *dyndb.DB {
+		tenant := benchBaseDB(t)
+		if _, err := tenant.Assertz(tenantFact(t, i)); err != nil {
+			t.Fatal(err)
+		}
+		return tenant
+	})
+
+	fmt.Printf("cowbench: tenants=%d\n", K)
+	fmt.Printf("cowbench: cow_retained_bytes_per_tenant=%d\n", cow)
+	fmt.Printf("cowbench: fullcopy_retained_bytes_per_tenant=%d\n", full)
+	if full <= cow {
+		t.Fatalf("COW tenants retain %d B each, full copies %d B: sharing buys nothing", cow, full)
+	}
+}

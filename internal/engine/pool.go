@@ -37,7 +37,8 @@ type Pool struct {
 
 	mu     sync.Mutex
 	images map[*asm.Image]*imagePool
-	agg    *trace.Agg // pool-wide profile; nil until EnableProfiling
+	dyn    map[*machine.Machine]*dynState // tenant delta each machine carries
+	agg    *trace.Agg                     // pool-wide profile; nil until EnableProfiling
 }
 
 // imagePool tracks the machines built for one image. free is buffered
@@ -102,7 +103,10 @@ func WithProfiling(on bool) PoolOption {
 // New creates a machine pool. With no options it serves each image
 // with up to GOMAXPROCS(0) default-configuration machines.
 func New(options ...PoolOption) *Pool {
-	p := &Pool{images: make(map[*asm.Image]*imagePool)}
+	p := &Pool{
+		images: make(map[*asm.Image]*imagePool),
+		dyn:    make(map[*machine.Machine]*dynState),
+	}
 	for _, opt := range options {
 		opt(p)
 	}
@@ -304,6 +308,11 @@ func (p *Pool) release(ip *imagePool, m *machine.Machine) {
 		ip.free <- m
 		return
 	}
+	// The discarded machine's tenant delta dies with it; its
+	// replacement starts at the boot frontier with no tenant.
+	p.mu.Lock()
+	delete(p.dyn, m)
+	p.mu.Unlock()
 	fresh, err := machine.New(ip.im, p.cfg)
 	if err != nil {
 		p.mu.Lock()

@@ -76,11 +76,25 @@ func (m *Machine) Facts() *analysis.ImageFacts {
 	for pi := range entries {
 		roots = append(roots, pi)
 	}
+	// The shadow may extend past the frontier after a Rollback (the
+	// truncated words stay so an identical reload is free); the
+	// analyzer only ever sees loaded code.
+	code := m.codeShadow
+	if int64(m.codeTop) < int64(len(code)) {
+		code = code[:m.codeTop]
+	}
+	lo, hi := m.factsLo, m.factsHi
+	if hi > m.codeTop {
+		hi = m.codeTop
+	}
+	if lo > hi {
+		lo = hi
+	}
 	switch {
 	case m.facts == nil:
-		m.facts = analysis.AnalyzeImage(m.codeShadow, 0, entries, roots)
+		m.facts = analysis.AnalyzeImage(code, 0, entries, roots)
 	case m.factsDirty:
-		m.facts = m.facts.Update(m.codeShadow, 0, entries, roots, m.factsLo, m.factsHi)
+		m.facts = m.facts.Update(code, 0, entries, roots, lo, hi)
 	}
 	m.factsDirty = false
 	return m.facts

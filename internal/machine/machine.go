@@ -339,6 +339,13 @@ type Machine struct {
 	// plus RegisterPred additions). preds above only covers predicates
 	// whose name atom is interned; the analyzer wants all of them.
 	entries map[term.Indicator]uint32
+
+	// Dynamic-database state (dyn.go): dynOrig remembers the original
+	// words under every PatchDyn so Rollback can restore them; the
+	// dirty span accumulates untimed code writes between flushes.
+	dynOrig      map[uint32]word.Word
+	dynDirty     bool
+	dynLo, dynHi uint32
 }
 
 // New builds a machine and loads the linked image into its code

@@ -46,9 +46,21 @@ const (
 )
 
 // growPredecode extends the predecode tables to cover [0, top),
-// preserving existing entries.
+// preserving existing entries. When the frontier grows past the
+// simulated code cache, residency stops being monotone — new code can
+// conflict-evict lines the pwResident flags claim are pinned — so the
+// flags set so far are swept away; replays fall back to real tag
+// checks until the image fits again.
 func (m *Machine) growPredecode(top uint32) {
-	m.pdecResidentOK = top <= cache.CodeWords
+	ok := top <= cache.CodeWords
+	if m.pdecResidentOK && !ok {
+		for i, w := range m.pwidth {
+			if w&pwResident != 0 {
+				m.pwidth[i] = w &^ pwResident
+			}
+		}
+	}
+	m.pdecResidentOK = ok
 	if int64(top) <= int64(len(m.pwidth)) {
 		return
 	}

@@ -67,6 +67,9 @@ type Server struct {
 	imgMu  sync.Mutex
 	images map[imageKey]*asm.Image
 
+	dynMu    sync.Mutex
+	dynProgs map[string]*dynProg // per-program tenant databases
+
 	sessions *table
 	draining atomic.Bool
 
@@ -120,6 +123,7 @@ func New(cfg Config) (*Server, error) {
 		pool:     pool,
 		progs:    progs,
 		images:   make(map[imageKey]*asm.Image),
+		dynProgs: make(map[string]*dynProg),
 		sessions: newTable(cfg.MaxSessions),
 		janitor:  make(chan struct{}),
 	}, nil
@@ -135,6 +139,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/next", s.handleNext)
 	mux.HandleFunc("POST /v1/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/assert", s.handleAssert)
+	mux.HandleFunc("POST /v1/retract", s.handleRetract)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -193,22 +199,32 @@ func (s *Server) Drain(ctx context.Context) error {
 	return err
 }
 
-// image returns the compile-once image for (program, goal), compiling
-// it on first use. Compilation is serialized: the compiler mutates
-// the program's symbol table.
-func (s *Server) image(program, goal string) (*asm.Image, error) {
+// resolveProgram maps a request's program name (possibly empty, when
+// the daemon serves exactly one program) to its loaded Program.
+func (s *Server) resolveProgram(program string) (string, *core.Program, error) {
 	if program == "" {
 		if len(s.progs) == 1 {
 			for name := range s.progs {
 				program = name
 			}
 		} else {
-			return nil, fmt.Errorf("several programs loaded; name one")
+			return "", nil, fmt.Errorf("several programs loaded; name one")
 		}
 	}
 	prog, ok := s.progs[program]
 	if !ok {
-		return nil, fmt.Errorf("unknown program %q", program)
+		return "", nil, fmt.Errorf("unknown program %q", program)
+	}
+	return program, prog, nil
+}
+
+// image returns the compile-once image for (program, goal), compiling
+// it on first use. Compilation is serialized: the compiler mutates
+// the program's symbol table.
+func (s *Server) image(program, goal string) (*asm.Image, error) {
+	program, prog, err := s.resolveProgram(program)
+	if err != nil {
+		return nil, err
 	}
 	key := imageKey{program: program, goal: goal}
 	s.imgMu.Lock()
@@ -327,21 +343,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // completes (releasing the machine) or parks the session for
 // next/cancel. No network writes happen here.
 func (s *Server) runQuery(ctx context.Context, req wire.QueryRequest) (wire.Reply, int) {
-	im, err := s.image(req.Program, req.Goal)
+	runCtx, cancel := s.runCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	sess, err := s.begin(runCtx, req)
 	if err != nil {
+		if errors.Is(err, machine.ErrCancelled) || errors.Is(err, machine.ErrDeadline) {
+			// Admission control: every machine is leased and none
+			// freed up before the deadline.
+			return errorReply(err), http.StatusServiceUnavailable
+		}
 		s.totMu.Lock()
 		s.totals.Queries++
 		s.totals.Errors++
 		s.totMu.Unlock()
 		return errorReply(err), http.StatusBadRequest
-	}
-	runCtx, cancel := s.runCtx(ctx, req.TimeoutMS)
-	defer cancel()
-	sess, err := s.pool.Begin(runCtx, im, engine.WithBudget(s.clampBudget(req.Budget)))
-	if err != nil {
-		// Admission control: every machine is leased and none freed
-		// up before the deadline.
-		return errorReply(err), http.StatusServiceUnavailable
 	}
 	ok := sess.Next(runCtx)
 	return s.settle(sess, req.Goal, ok, req.Enumerate)
@@ -537,6 +552,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Sessions: ss,
 		Totals:   tot,
+		Tenants:  s.tenantCount(),
 		Draining: s.draining.Load(),
 	})
 }
@@ -574,19 +590,16 @@ func (s *Server) streamToWriter(ctx context.Context, cancel context.CancelFunc, 
 // request but never sees the connection.
 func (s *Server) streamQuery(ctx context.Context, req wire.QueryRequest, lines chan<- wire.Reply) {
 	defer close(lines)
-	im, err := s.image(req.Program, req.Goal)
-	if err != nil {
-		s.totMu.Lock()
-		s.totals.Queries++
-		s.totals.Errors++
-		s.totMu.Unlock()
-		s.send(ctx, lines, errorReply(err))
-		return
-	}
 	runCtx, cancel := s.runCtx(ctx, req.TimeoutMS)
 	defer cancel()
-	sess, err := s.pool.Begin(runCtx, im, engine.WithBudget(s.clampBudget(req.Budget)))
+	sess, err := s.begin(runCtx, req)
 	if err != nil {
+		if !errors.Is(err, machine.ErrCancelled) && !errors.Is(err, machine.ErrDeadline) {
+			s.totMu.Lock()
+			s.totals.Queries++
+			s.totals.Errors++
+			s.totMu.Unlock()
+		}
 		s.send(ctx, lines, errorReply(err))
 		return
 	}

@@ -337,6 +337,49 @@ func Vars(t Term, dst []Var) []Var {
 	return dst
 }
 
+// Variant reports whether a and b are equal up to a consistent
+// one-to-one renaming of variables — the standard-order notion
+// retract/1 uses to match a stored clause without binding anything.
+func Variant(a, b Term) bool {
+	ab := map[Var]Var{}
+	ba := map[Var]Var{}
+	var walk func(a, b Term) bool
+	walk = func(a, b Term) bool {
+		switch x := a.(type) {
+		case Var:
+			y, ok := b.(Var)
+			if !ok {
+				return false
+			}
+			fwd, seenX := ab[x]
+			bwd, seenY := ba[y]
+			if seenX != seenY {
+				return false
+			}
+			if seenX {
+				return fwd == y && bwd == x
+			}
+			ab[x] = y
+			ba[y] = x
+			return true
+		case *Compound:
+			y, ok := b.(*Compound)
+			if !ok || x.Functor != y.Functor || len(x.Args) != len(y.Args) {
+				return false
+			}
+			for i := range x.Args {
+				if !walk(x.Args[i], y.Args[i]) {
+					return false
+				}
+			}
+			return true
+		default:
+			return Equal(a, b)
+		}
+	}
+	return walk(a, b)
+}
+
 // Equal reports structural equality of two terms (variables compare
 // by name).
 func Equal(a, b Term) bool {

@@ -7,10 +7,18 @@
 //
 // The protocol is one endpoint per verb:
 //
-//	POST /v1/query    QueryRequest  -> Reply (or an NDJSON stream)
-//	POST /v1/next     NextRequest   -> Reply
-//	POST /v1/cancel   CancelRequest -> Reply
-//	GET  /v1/stats                  -> StatsReply
+//	POST /v1/query    QueryRequest   -> Reply (or an NDJSON stream)
+//	POST /v1/next     NextRequest    -> Reply
+//	POST /v1/cancel   CancelRequest  -> Reply
+//	POST /v1/assert   AssertRequest  -> Reply
+//	POST /v1/retract  RetractRequest -> Reply
+//	GET  /v1/stats                   -> StatsReply
+//
+// Queries carrying a Tenant name run against that tenant's dynamic
+// database: a private copy-on-write delta (the clauses the tenant has
+// asserted) over the program's shared base image. Assert and retract
+// mutate the delta; the empty tenant name is the shared static
+// program, which assert/retract cannot touch.
 //
 // A query either completes within the request (status "yes"/"no"), or
 // parks a budget-suspended session server-side (status "suspended"
@@ -37,6 +45,10 @@ type QueryRequest struct {
 	Program string `json:"program,omitempty"`
 	// Goal is the query text, e.g. "nrev([1,2,3], R).".
 	Goal string `json:"goal"`
+	// Tenant selects a per-tenant dynamic database layered over the
+	// program (created on first use). Empty runs the shared static
+	// program.
+	Tenant string `json:"tenant,omitempty"`
 	// Enumerate keeps the session open after the first solution so
 	// the client can drive it with next-solution requests.
 	Enumerate bool `json:"enumerate,omitempty"`
@@ -68,6 +80,30 @@ type CancelRequest struct {
 	Session string `json:"session"`
 }
 
+// AssertRequest adds a clause to a tenant's dynamic database. The
+// clause must belong to a predicate the program declares dynamic (or
+// one unknown to the program, declared on first assert); asserting
+// into a static predicate is rejected.
+type AssertRequest struct {
+	Program string `json:"program,omitempty"`
+	Tenant  string `json:"tenant"`
+	// Clause is Prolog text: a fact "color(red)" or a rule
+	// "likes(X) :- color(X)". The terminating period is optional.
+	Clause string `json:"clause"`
+	// Front prepends (asserta) instead of appending (assertz).
+	Front bool `json:"front,omitempty"`
+}
+
+// RetractRequest removes the first clause of the tenant's database
+// that is a variant of Clause (equal up to variable renaming). The
+// reply Status is "yes" when a clause was removed, "no" when none
+// matched.
+type RetractRequest struct {
+	Program string `json:"program,omitempty"`
+	Tenant  string `json:"tenant"`
+	Clause  string `json:"clause"`
+}
+
 // Counters is the per-query slice of the machine's simulated
 // statistics, cumulative across an enumeration.
 type Counters struct {
@@ -94,6 +130,9 @@ type Reply struct {
 	Solutions int       `json:"solutions,omitempty"`
 	Stats     *Counters `json:"stats,omitempty"`
 	Error     string    `json:"error,omitempty"`
+	// Version is the tenant database version after an assert or
+	// retract (monotone per tenant; 0 on non-mutating replies).
+	Version uint64 `json:"version,omitempty"`
 }
 
 // PoolStats mirrors engine.PoolStats on the wire.
@@ -134,5 +173,7 @@ type StatsReply struct {
 	Pool     PoolStats    `json:"pool"`
 	Sessions SessionStats `json:"sessions"`
 	Totals   Totals       `json:"totals"`
-	Draining bool         `json:"draining"`
+	// Tenants counts the live per-tenant databases across programs.
+	Tenants  int  `json:"tenants,omitempty"`
+	Draining bool `json:"draining"`
 }

@@ -1,0 +1,71 @@
+#!/bin/sh
+# Copy-on-write tenant benchmark recorder: what does the K-th tenant
+# cost? Runs the BenchmarkTenant{COW,FullCopy} pair (per-tenant setup
+# latency and allocation) and the retained-memory measurement
+# (per-tenant heap held by K live tenants after GC — the RSS proxy),
+# and records both in BENCH_<n>.json.
+#
+#   scripts/cowbench.sh [n]        # writes BENCH_<n>.json (default n=9)
+#
+# Environment:
+#   COWBENCH_COUNT   repetitions per benchmark; the minimum is kept
+#                    (default 5)
+#   COWBENCH_TIME    go -benchtime per repetition (default 1s)
+set -eu
+cd "$(dirname "$0")/.."
+
+n=${1:-9}
+count=${COWBENCH_COUNT:-5}
+btime=${COWBENCH_TIME:-1s}
+out="BENCH_${n}.json"
+raw=$(mktemp)
+ret=$(mktemp)
+trap 'rm -f "$raw" "$ret"' EXIT
+
+go test -run '^$' -bench '^BenchmarkTenant(COW|FullCopy)$' -benchmem \
+    -benchtime "$btime" -count "$count" ./internal/dyndb/ | tee "$raw"
+KCM_COWBENCH=1 go test -run '^TestTenantRetainedMemory$' -v \
+    ./internal/dyndb/ | tee "$ret"
+
+{
+    printf '{\n'
+    printf '  "bench_id": "%s",\n' "$n"
+    printf '  "host_cpus": %s,\n' "$(nproc)"
+    printf '  "protocol": "per-tenant cost of the copy-on-write dynamic database vs an N-full-copies baseline (recompile the whole program per tenant); min of %s runs x %s plus a 200-live-tenant retained-heap measurement (see internal/dyndb/cowbench_test.go)",\n' "$count" "$btime"
+    printf '  "note": "setup_ns/alloc_bytes are per added tenant; retained_bytes is heap held per tenant after GC with all tenants live (RSS proxy). COW tenants share one immutable base image and carry only a private delta.",\n'
+    awk '
+    /^BenchmarkTenant/ {
+        name = $1
+        sub(/^BenchmarkTenant/, "", name)
+        sub(/-[0-9]+$/, "", name)
+        delete v
+        for (i = 3; i < NF; i += 2) v[$(i + 1)] = $i
+        if (!(name in ns) || v["ns/op"] + 0 < ns[name] + 0) {
+            ns[name]     = v["ns/op"] + 0
+            bytes[name]  = v["B/op"] + 0
+            allocs[name] = v["allocs/op"] + 0
+        }
+    }
+    END {
+        printf "  \"per_tenant_setup\": {\n"
+        printf "    \"cow\":       {\"setup_ns\": %d, \"alloc_bytes\": %d, \"allocs\": %d},\n", ns["COW"], bytes["COW"], allocs["COW"]
+        printf "    \"full_copy\": {\"setup_ns\": %d, \"alloc_bytes\": %d, \"allocs\": %d},\n", ns["FullCopy"], bytes["FullCopy"], allocs["FullCopy"]
+        printf "    \"speedup\": %.1f\n", ns["FullCopy"] / ns["COW"]
+        printf "  },\n"
+    }' "$raw"
+    awk '
+    /cowbench: tenants=/                            { split($2, f, "="); k = f[2] }
+    /cowbench: cow_retained_bytes_per_tenant=/      { split($2, f, "="); cow = f[2] }
+    /cowbench: fullcopy_retained_bytes_per_tenant=/ { split($2, f, "="); full = f[2] }
+    END {
+        printf "  \"retained_heap\": {\n"
+        printf "    \"live_tenants\": %d,\n", k
+        printf "    \"cow_retained_bytes_per_tenant\": %d,\n", cow
+        printf "    \"full_copy_retained_bytes_per_tenant\": %d,\n", full
+        printf "    \"sharing_factor\": %.1f\n", full / cow
+        printf "  }\n"
+    }' "$ret"
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out"

@@ -26,6 +26,13 @@ go test -race ./...
 echo '== engine pool race tests (plain and traced/profiled)'
 go test -race -run 'TestPoolRace|TestPoolTraceRace' ./internal/engine/
 
+echo '== dynamic differential gate (assert-built == statically-compiled, incl. warm counters)'
+go test -count=1 -run 'TestDynamicDifferential' ./internal/machine/
+
+echo '== dyndb fuzz smoke (assert/retract vs model, malformed-clause rejection)'
+go test -count=1 -run '^$' -fuzz 'FuzzAssertRetract' -fuzztime 5s ./internal/dyndb/
+go test -count=1 -run '^$' -fuzz 'FuzzMalformedClause' -fuzztime 5s ./internal/dyndb/
+
 echo '== cycle-count pin (kcmbench counters must not drift)'
 go test -run 'TestCyclePin' ./internal/bench/
 
@@ -74,7 +81,7 @@ if ! diff -u "$tabfuse" "$tabnofuse"; then
     exit 1
 fi
 
-echo '== kcmd smoke (ephemeral port, scripted query + stream + cancel, clean drain)'
+echo '== kcmd smoke (ephemeral port: query + stream + cancel + tenant assert/query/retract, clean drain)'
 go run ./cmd/kcmd -smoke
 
 echo '== kcmvet (strict: analyzer warnings are errors)'
