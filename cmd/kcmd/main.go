@@ -6,7 +6,10 @@
 // deadlines and step budgets map onto the machine's resumable
 // sessions; budget-suspended queries are parked in a session table
 // with idle eviction; SIGTERM drains gracefully, finishing in-flight
-// and parked queries before exit.
+// and parked queries before exit. With -state DIR, parked sessions
+// are instead serialized to DIR on drain (and on /v1/suspend) and
+// survive the restart: the next kcmd process resumes them via
+// /v1/resume, byte-identical down to the simulated cycle counters.
 //
 // Usage:
 //
@@ -69,6 +72,7 @@ func main() {
 		idle     = flag.Duration("idle", 60*time.Second, "evict sessions idle this long")
 		drainT   = flag.Duration("drain-timeout", 15*time.Second, "bound on the graceful drain")
 		sessions = flag.Int("sessions", 0, "session-table cap (0 = 4x pool size)")
+		state    = flag.String("state", "", "state directory for session suspend/resume across restarts")
 		demo     = flag.Bool("demo", false, "serve the built-in list library (app/nrev/member)")
 		smoke    = flag.Bool("smoke", false, "self-test against an ephemeral port and exit")
 	)
@@ -104,6 +108,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		IdleTimeout:    *idle,
 		MaxSessions:    *sessions,
+		StateDir:       *state,
 	}
 
 	if *smoke {
@@ -153,6 +158,14 @@ func main() {
 // suspended session still parked, asserting every machine returns to
 // the pool.
 func runSmoke(cfg server.Config, drainT time.Duration) error {
+	if cfg.StateDir == "" {
+		dir, err := os.MkdirTemp("", "kcmd-state-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.StateDir = dir
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -257,18 +270,39 @@ func runSmoke(cfg server.Config, drainT time.Duration) error {
 		return fmt.Errorf("stats tenants: %+v", st)
 	}
 
-	// 7. Drain with a suspended session parked: it must be completed
-	// and its machine returned to the pool.
-	rep, err = c.Query(ctx, wire.QueryRequest{
-		Goal:   "nrev([1,2,3,4,5,6,7,8,9,10], R), member(X, [1,2,3]).",
-		Budget: 100,
-	})
+	// 7. Session migration within the daemon: park an enumeration to
+	// disk mid-flight, resume its handle, and finish it.
+	const migGoal = "nrev([1,2,3,4,5,6,7,8,9,10], R), member(X, [1,2,3])."
+	rep, err = c.Query(ctx, wire.QueryRequest{Goal: migGoal, Enumerate: true})
+	if err != nil || rep.Status != wire.StatusYes {
+		return fmt.Errorf("migration query: %+v, %w", rep, err)
+	}
+	park, err := c.Suspend(ctx, rep.Session)
+	if err != nil || park.Status != wire.StatusParked || park.Handle == "" {
+		return fmt.Errorf("suspend to disk: %+v, %w", park, err)
+	}
+	rep, err = c.Resume(ctx, wire.ResumeRequest{Handle: park.Handle})
+	if err != nil || rep.Status != wire.StatusSuspended {
+		return fmt.Errorf("resume from disk: %+v, %w", rep, err)
+	}
+	sols := park.Solutions
+	for rep, err = c.Next(ctx, rep.Session, 0); err == nil && rep.Status == wire.StatusYes; rep, err = c.Next(ctx, rep.Session, 0) {
+		sols++
+	}
+	if err != nil || rep.Status != wire.StatusNo || sols != 3 {
+		return fmt.Errorf("post-resume enumeration: %d solutions, %+v, %w", sols, rep, err)
+	}
+
+	// 8. Drain with a suspended session parked: with a state directory
+	// it is serialized to disk and every machine returns to the pool.
+	rep, err = c.Query(ctx, wire.QueryRequest{Goal: migGoal, Budget: 100})
 	if err != nil {
 		return err
 	}
 	if rep.Status != wire.StatusSuspended {
 		return fmt.Errorf("pre-drain suspend: %+v", rep)
 	}
+	handle := rep.Session
 	dctx, dcancel := context.WithTimeout(context.Background(), drainT)
 	defer dcancel()
 	if err := srv.Drain(dctx); err != nil {
@@ -279,6 +313,49 @@ func runSmoke(cfg server.Config, drainT time.Duration) error {
 	}
 	if ps := srv.Pool().Stats(); ps.InUse != 0 {
 		return fmt.Errorf("machines leaked across drain: %+v", ps)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.StateDir, handle+".snap")); err != nil {
+		return fmt.Errorf("drain did not park the session: %w", err)
+	}
+
+	// 9. Restart: a second daemon process-equivalent over the same
+	// state directory resumes the drained session and finishes it.
+	srv2, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveErr2 := make(chan error, 1)
+	go func() { serveErr2 <- srv2.Serve(l2) }()
+	c2 := client.New("http://" + l2.Addr().String())
+	rep, err = c2.Resume(ctx, wire.ResumeRequest{Handle: handle})
+	if err != nil || rep.Status != wire.StatusSuspended {
+		return fmt.Errorf("resume after restart: %+v, %w", rep, err)
+	}
+	sols = rep.Solutions
+	for rep, err = c2.Next(ctx, rep.Session, 0); err == nil; rep, err = c2.Next(ctx, rep.Session, 0) {
+		if rep.Status == wire.StatusYes {
+			sols++
+		} else if rep.Status != wire.StatusSuspended {
+			break
+		}
+	}
+	if err != nil || rep.Status != wire.StatusNo || sols != 3 {
+		return fmt.Errorf("post-restart enumeration: %d solutions, %+v, %w", sols, rep, err)
+	}
+	dctx2, dcancel2 := context.WithTimeout(context.Background(), drainT)
+	defer dcancel2()
+	if err := srv2.Drain(dctx2); err != nil {
+		return fmt.Errorf("drain 2: %w", err)
+	}
+	if err := <-serveErr2; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve 2 exit: %w", err)
+	}
+	if ps := srv2.Pool().Stats(); ps.InUse != 0 {
+		return fmt.Errorf("machines leaked across second drain: %+v", ps)
 	}
 	return nil
 }

@@ -129,6 +129,71 @@ func BenchmarkHostPoolNrev(b *testing.B) {
 	})
 }
 
+// BenchmarkHostWarmBoot times the pool's per-machine warm protocol as
+// it ran before snapshot stamping: a full reset plus one complete
+// warm run on an already-constructed machine. This is the per-sibling
+// cost that Warm used to pay pool-wide.
+func BenchmarkHostWarmBoot(b *testing.B) {
+	p, _ := bench.ByName("nrev1")
+	im, err := bench.Compile(p, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(im, benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	entry, _ := im.Entry(compiler.QueryPI)
+	if _, err := m.Run(entry); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if _, err := m.Run(entry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostWarmRestore times the same warm state arriving by
+// snapshot stamp instead: one machine runs the warm protocol once and
+// is captured; every iteration restores that snapshot onto a sibling
+// — the engine.Pool Warm path for every machine after the first. The
+// ratio to BenchmarkHostWarmBoot is the warm-boot speedup recorded in
+// BENCH_10.json.
+func BenchmarkHostWarmRestore(b *testing.B) {
+	p, _ := bench.ByName("nrev1")
+	im, err := bench.Compile(p, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := machine.New(im, benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	entry, _ := im.Entry(compiler.QueryPI)
+	if _, err := proto.Run(entry); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := proto.Capture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sibling, err := machine.New(im, benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sibling.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHostBoot times the cold path: machine construction, image
 // load and a first (cache-cold, predecode-cold) run. Allocations here
 // are expected — this tracks the cost of standing a machine up, the

@@ -378,3 +378,68 @@ func (c *Data) InvalidateRange(z word.Zone, start, end uint32) {
 		}
 	}
 }
+
+// LineState is one valid cache line, for serialization. Residency is
+// machine-visible state: which lines are valid (and, for the copy-back
+// data cache, which are dirty) decides the miss and writeback pattern
+// of every subsequent access, so a byte-identical continuation must
+// carry it across.
+type LineState struct {
+	VA    uint32
+	Zone  word.Zone // data cache only; zero for code lines
+	Data  word.Word
+	Dirty bool // data cache only; the code cache is write-through
+}
+
+// ExportLines returns the valid lines of the data cache in index
+// order.
+func (c *Data) ExportLines() []LineState {
+	var ls []LineState
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid {
+			ls = append(ls, LineState{VA: ln.va, Zone: ln.zone, Data: ln.data, Dirty: ln.dirty})
+		}
+	}
+	return ls
+}
+
+// ImportLines replaces the data cache contents wholesale: every line
+// not listed becomes invalid, each listed line lands at the index its
+// address maps to (later duplicates overwrite earlier ones, matching
+// what live traffic would have left).
+func (c *Data) ImportLines(ls []LineState) {
+	clear(c.lines[:]) // memclr; the per-index loop costs ~20x more
+	for _, s := range ls {
+		c.lines[c.index(s.VA, s.Zone)] = line{valid: true, dirty: s.Dirty, va: s.VA, zone: s.Zone, data: s.Data}
+	}
+}
+
+// SetStats replaces the data-cache counters wholesale (snapshot
+// restore).
+func (c *Data) SetStats(s Stats) { c.stats = s }
+
+// ExportLines returns the valid lines of the code cache in index
+// order.
+func (c *Code) ExportLines() []LineState {
+	var ls []LineState
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid {
+			ls = append(ls, LineState{VA: ln.va, Data: ln.data})
+		}
+	}
+	return ls
+}
+
+// ImportLines replaces the code cache contents wholesale.
+func (c *Code) ImportLines(ls []LineState) {
+	clear(c.lines[:]) // memclr; the per-index loop costs ~20x more
+	for _, s := range ls {
+		c.lines[s.VA%CodeWords] = line{valid: true, va: s.VA, data: s.Data}
+	}
+}
+
+// SetStats replaces the code-cache counters wholesale (snapshot
+// restore).
+func (c *Code) SetStats(s Stats) { c.stats = s }

@@ -32,6 +32,9 @@ func New(base string) *Client {
 	}
 }
 
+// Base is the daemon URL this client talks to.
+func (c *Client) Base() string { return c.base }
+
 // post sends one JSON body and decodes one JSON reply.
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	buf, err := json.Marshal(body)
@@ -77,6 +80,24 @@ func (c *Client) Next(ctx context.Context, session string, budget uint64) (wire.
 func (c *Client) Cancel(ctx context.Context, session string) (wire.Reply, error) {
 	var rep wire.Reply
 	err := c.post(ctx, "/v1/cancel", wire.CancelRequest{Session: session}, &rep)
+	return rep, err
+}
+
+// Suspend serializes a parked session to the daemon's state
+// directory. The reply's Handle (status "parked") resumes it later —
+// against this daemon or a restarted one serving the same programs.
+func (c *Client) Suspend(ctx context.Context, session string) (wire.Reply, error) {
+	var rep wire.Reply
+	err := c.post(ctx, "/v1/suspend", wire.SuspendRequest{Session: session}, &rep)
+	return rep, err
+}
+
+// Resume rebuilds a suspended session from its handle. The reply
+// (status "suspended") carries the new session id; drive it with Next
+// exactly as before the suspension.
+func (c *Client) Resume(ctx context.Context, req wire.ResumeRequest) (wire.Reply, error) {
+	var rep wire.Reply
+	err := c.post(ctx, "/v1/resume", req, &rep)
 	return rep, err
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -256,17 +257,27 @@ func (p *Pool) Query(ctx context.Context, im *asm.Image, options ...Option) (*co
 	return s.Solution(), nil // the failed outcome, with its Result
 }
 
-// Warm builds the image's full complement of machines and runs the
-// query once on each, so later queries start from warm simulated
-// caches (the paper's warm-run timing protocol). It is optional:
-// Query builds machines on demand.
+// Warm builds the image's full complement of machines and brings each
+// to the post-warm-run state, so later queries start from warm
+// simulated caches (the paper's warm-run timing protocol). It is
+// optional: Query builds machines on demand.
+//
+// Only the first machine actually executes the warm query; the rest
+// are stamped from its snapshot (machine.Capture/Restore), which
+// skips the simulation entirely and leaves every pool member in the
+// byte-identical warm state a real run would have produced. Profiled
+// or traced pools keep the per-machine real runs: their hooks observe
+// warm-run events and their aggregates count every machine's cycles,
+// which a stamp would silently skip.
 func (p *Pool) Warm(ctx context.Context, im *asm.Image) error {
 	entry, ok := im.Entry(compiler.QueryPI)
 	if !ok {
 		return fmt.Errorf("engine: image has no query entry point")
 	}
+	stamp := p.cfg.Hook == nil && p.cfg.HookFactory == nil
+	var proto *snapshot.State
 	// Hold all machines at once so every pool member gets one warm
-	// run, instead of re-warming the same machine repeatedly.
+	// state, instead of re-warming the same machine repeatedly.
 	machines := make([]*machine.Machine, 0, p.size)
 	var ip *imagePool
 	defer func() {
@@ -286,9 +297,21 @@ func (p *Pool) Warm(ctx context.Context, im *asm.Image) error {
 		machines = append(machines, m)
 		m.Reset()
 		m.SetOut(nil)
+		if proto != nil {
+			if err := m.Restore(proto); err == nil {
+				continue
+			}
+			// A refused stamp (config drift, unexpected image state)
+			// falls back to a real warm run below.
+		}
 		m.Begin(entry)
 		if _, err := m.RunFor(ctx, 0); err != nil {
 			return err
+		}
+		if stamp && proto == nil {
+			if s, err := m.Capture(); err == nil {
+				proto = s
+			}
 		}
 	}
 	return nil

@@ -2,7 +2,9 @@ package engine_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -134,6 +136,98 @@ func TestTenantMutationVisibleAcrossLeases(t *testing.T) {
 	}
 	if got := collect(t, pool, db, "likes(X)"); len(got) != 0 {
 		t.Fatalf("after retract: %v, want []", got)
+	}
+}
+
+// TestTenantSuspendResume parks a tenant session mid-enumeration and
+// resumes it against the same database: the continuation is
+// byte-identical. Then the satellite-3 regression: ANY database
+// change between park and resume — an assert, and a Reload that rolls
+// the predicate back to the exact clause set the blob was parked from
+// — must fail typed with ErrStaleDelta, because the delta image the
+// blob's code addresses point into has been rebuilt.
+func TestTenantSuspendResume(t *testing.T) {
+	seed := seedDB(t, tenantSrc)
+	pool := engine.New(engine.WithPoolSize(2))
+	db := seed.Clone()
+	colorPI := term.Indicator{Name: "color", Arity: 1}
+	for _, c := range []string{"color(red)", "color(green)", "color(blue)"} {
+		if _, err := db.Assertz(parse(t, c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parked := db.Clauses(colorPI) // the clause set the blob will reference
+
+	// Reference: uninterrupted enumeration.
+	if got := collect(t, pool, db, "likes(X)"); strings.Join(got, " ") != "red green blue" {
+		t.Fatalf("reference enumeration: %v", got)
+	}
+
+	// Park after one solution, resume, finish.
+	goal := parse(t, "likes(X)")
+	s, err := pool.BeginDyn(context.Background(), db, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Next(context.Background()) {
+		t.Fatalf("first solution: err=%v", s.Err())
+	}
+	if v, _ := s.Solution().Binding("X"); v.String() != "red" {
+		t.Fatalf("first solution %v, want red", v)
+	}
+	blob, err := s.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pool.ResumeDyn(context.Background(), db, goal, blob)
+	if err != nil {
+		t.Fatalf("ResumeDyn: %v", err)
+	}
+	var rest []string
+	for r.Next(context.Background()) {
+		v, _ := r.Solution().Binding("X")
+		rest = append(rest, v.String())
+	}
+	if r.Err() != nil || strings.Join(rest, " ") != "green blue" {
+		t.Fatalf("resumed enumeration: %v (err=%v)", rest, r.Err())
+	}
+	r.Close()
+
+	// Park again, then mutate: the blob is now stale.
+	s2, err := pool.BeginDyn(context.Background(), db, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Next(context.Background()) {
+		t.Fatal(s2.Err())
+	}
+	stale, err := s2.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Assertz(parse(t, "color(cyan)")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.ResumeDyn(context.Background(), db, goal, stale); !errors.Is(err, engine.ErrStaleDelta) {
+		t.Fatalf("resume after assert: %v, want ErrStaleDelta", err)
+	}
+	// Roll the predicate back to the exact clause set the blob was
+	// parked from. The content matches, but the delta was rebuilt —
+	// the version proves it and the resume must still be refused.
+	if _, err := db.Reload(colorPI, parked); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.ResumeDyn(context.Background(), db, goal, stale); !errors.Is(err, engine.ErrStaleDelta) {
+		t.Fatalf("resume after rollback-by-reload: %v, want ErrStaleDelta", err)
+	}
+	// A static resume of a tenant blob is directed to ResumeDyn.
+	if _, err := pool.Resume(context.Background(), db.Image(), stale); err == nil ||
+		errors.Is(err, engine.ErrNoSession) {
+		t.Fatalf("tenant blob via Resume: %v, want delta-direction error", err)
+	}
+	// The database itself must still be healthy after every refusal.
+	if got := collect(t, pool, db, "likes(X)"); strings.Join(got, " ") != "red green blue" {
+		t.Fatalf("post-refusal enumeration: %v", got)
 	}
 }
 

@@ -166,6 +166,17 @@ func (m *Machine) bootstrap(entry uint32) {
 	m.sf, m.cf = false, false
 	m.mode = false
 	m.s = 0
+	// Argument registers are garbage-collection roots (gc.Roots takes
+	// the whole file), so values a previous query left in them would
+	// keep dead heap cells alive across Reset — a collection in the new
+	// query would then free less, move H differently, and diverge from
+	// a fresh machine's counters. Clear them, and the shallow-mode
+	// shadow registers with them.
+	for i := range m.regs {
+		m.regs[i] = 0
+	}
+	m.shadowH, m.shadowTR, m.shadowNext = 0, 0, 0
+	m.pendingCallSet = false
 	m.h = m.cfg.GlobalBase
 	m.tr = m.cfg.TrailBase
 	m.e = 0

@@ -285,6 +285,12 @@ type Machine struct {
 	prof           *profiler
 	hostProf       *hostProfiler
 
+	// fingerprint caches configFingerprint(): the configuration is
+	// immutable after New, and the fmt-based hash is too slow to
+	// recompute on every snapshot capture/restore.
+	fingerprint   uint64
+	fingerprinted bool
+
 	// Trace state (nil hook = tracing off; see traced.go).
 	hook           trace.Hook
 	evSeq          uint64 // per-machine event sequence number

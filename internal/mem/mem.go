@@ -62,6 +62,32 @@ func (m *Memory) Write(pa uint32, w word.Word) int {
 // Peek reads without touching statistics or timing (for diagnostics).
 func (m *Memory) Peek(pa uint32) word.Word { return m.words[pa] }
 
+// Poke stores w at pa without statistics or timing. Snapshot restore
+// uses it to reconstruct physical memory contents; the traffic that
+// originally produced them was already charged when the snapshot was
+// taken.
+func (m *Memory) Poke(pa uint32, w word.Word) { m.words[pa] = w }
+
+// SetStats replaces the traffic counters wholesale (snapshot restore).
+// The open-row tracking is replaced too, via SetOpenRow.
+func (m *Memory) SetStats(s Stats) {
+	row, has := m.stats.lastRow, m.stats.hasLastRow
+	m.stats = s
+	m.stats.lastRow, m.stats.hasLastRow = row, has
+}
+
+// OpenRow returns the currently open DRAM row, if any.
+func (m *Memory) OpenRow() (row uint32, open bool) {
+	return m.stats.lastRow, m.stats.hasLastRow
+}
+
+// SetOpenRow forces the open-row tracker (snapshot restore). Page-mode
+// timing of the first access after a restore depends on it, so it is
+// part of the machine-visible state.
+func (m *Memory) SetOpenRow(row uint32, open bool) {
+	m.stats.lastRow, m.stats.hasLastRow = row, open
+}
+
 func (m *Memory) access(pa uint32) int {
 	row := pa / DRAMPageWords
 	if m.stats.hasLastRow && row == m.stats.lastRow {

@@ -107,6 +107,17 @@ func (a *FrameAlloc) Alloc() (uint32, bool) {
 // Allocated returns how many frames have been handed out.
 func (a *FrameAlloc) Allocated() uint32 { return a.next }
 
+// Next returns the next frame the allocator would hand out.
+func (a *FrameAlloc) Next() uint32 { return a.next }
+
+// Max returns the number of frames the allocator manages.
+func (a *FrameAlloc) Max() uint32 { return a.max }
+
+// SetNext forces the allocation frontier (snapshot restore: the
+// restored page tables reference frames below the frontier recorded
+// when the snapshot was taken).
+func (a *FrameAlloc) SetNext(n uint32) { a.next = n }
+
 // MMU is the address-translation and protection unit for one address
 // space (KCM has two: code and data, each with its own page table
 // half, sharing the physical frame pool).
@@ -132,6 +143,15 @@ type Stats struct {
 	ZoneTraps    uint64
 }
 
+// unmappedTable is an all-unmapped page table, the copy source for
+// wholesale table resets (New, ImportTable).
+var unmappedTable = func() (t [NumPages]int32) {
+	for i := range t {
+		t[i] = -1
+	}
+	return
+}()
+
 // New creates an MMU backed by physical memory, drawing frames from
 // the shared allocator (nil creates a private one).
 func New(m *mem.Memory, frames *FrameAlloc) *MMU {
@@ -139,9 +159,7 @@ func New(m *mem.Memory, frames *FrameAlloc) *MMU {
 		frames = NewFrameAlloc(m)
 	}
 	u := &MMU{mem: m, frames: frames}
-	for i := range u.table {
-		u.table[i] = -1
-	}
+	copy(u.table[:], unmappedTable[:])
 	return u
 }
 
@@ -297,3 +315,43 @@ func (u *MMU) Map(va, frame uint32) {
 		u.table[vp] = int32(frame)
 	}
 }
+
+// Frames returns the frame allocator this MMU draws from (shared with
+// the other address space's MMU).
+func (u *MMU) Frames() *FrameAlloc { return u.frames }
+
+// PageEntry is one mapped page-table entry, for serialization.
+type PageEntry struct {
+	VPage uint32
+	Frame uint32
+}
+
+// ExportTable returns the mapped entries of the page table in
+// ascending virtual-page order.
+func (u *MMU) ExportTable() []PageEntry {
+	var es []PageEntry
+	for vp, f := range u.table {
+		if f >= 0 {
+			es = append(es, PageEntry{VPage: uint32(vp), Frame: uint32(f)})
+		}
+	}
+	return es
+}
+
+// ImportTable replaces the page table wholesale with the given
+// entries; every page not listed becomes unmapped. Entries with an
+// out-of-range virtual page are ignored (the snapshot decoder bounds-
+// checks before calling, so this is belt and braces).
+func (u *MMU) ImportTable(es []PageEntry) {
+	// memmove from a blank table: a per-entry -1 loop is the hottest
+	// single cost of a snapshot restore.
+	copy(u.table[:], unmappedTable[:])
+	for _, e := range es {
+		if e.VPage < NumPages {
+			u.table[e.VPage] = int32(e.Frame)
+		}
+	}
+}
+
+// SetStats replaces the counters wholesale (snapshot restore).
+func (u *MMU) SetStats(s Stats) { u.stats = s }

@@ -56,6 +56,12 @@ type Config struct {
 	IdleTimeout time.Duration
 	// MaxSessions caps the session table (default 4x pool size).
 	MaxSessions int
+	// StateDir, when set, enables session suspend/resume across
+	// daemon restarts: /v1/suspend serializes a parked session's
+	// machine state to a blob file here, /v1/resume rebuilds it, and
+	// Drain parks every live session the same way instead of running
+	// it to completion.
+	StateDir string
 }
 
 // Server serves the wire protocol over an engine.Pool.
@@ -139,6 +145,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/next", s.handleNext)
 	mux.HandleFunc("POST /v1/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/suspend", s.handleSuspend)
+	mux.HandleFunc("POST /v1/resume", s.handleResume)
 	mux.HandleFunc("POST /v1/assert", s.handleAssert)
 	mux.HandleFunc("POST /v1/retract", s.handleRetract)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -183,13 +191,19 @@ func (s *Server) evictLoop() {
 }
 
 // Drain shuts the daemon down gracefully: stop accepting new queries,
-// wait for in-flight requests, then complete every parked session so
-// no accepted query is abandoned. Bounded by ctx; safe to call once.
+// wait for in-flight requests, then deal with every parked session so
+// no accepted query is abandoned — serialized to the state directory
+// when one is configured (the client resumes after restart with the
+// session id as the handle), run to completion otherwise. Bounded by
+// ctx; safe to call once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
+	}
+	if s.cfg.StateDir != "" {
+		s.parkAll()
 	}
 	for _, e := range s.sessions.drainAll(ctx) {
 		s.account(e.sess, false)
@@ -359,12 +373,15 @@ func (s *Server) runQuery(ctx context.Context, req wire.QueryRequest) (wire.Repl
 		return errorReply(err), http.StatusBadRequest
 	}
 	ok := sess.Next(runCtx)
-	return s.settle(sess, req.Goal, ok, req.Enumerate)
+	return s.settle(sess, req, ok)
 }
 
 // settle turns a Next outcome into a wire reply, closing or parking
-// the session. Shared by query and next.
-func (s *Server) settle(sess *engine.Session, goal string, ok, keep bool) (wire.Reply, int) {
+// the session. The request identifies the code environment (program,
+// tenant, goal) recorded on the parked entry so /v1/suspend can
+// serialize the session for a later daemon process.
+func (s *Server) settle(sess *engine.Session, req wire.QueryRequest, ok bool) (wire.Reply, int) {
+	keep := req.Enumerate
 	switch {
 	case ok:
 		sol := sess.Solution()
@@ -375,7 +392,7 @@ func (s *Server) settle(sess *engine.Session, goal string, ok, keep bool) (wire.
 			Stats:     counters(sol.Result),
 		}
 		if keep {
-			e, err := s.sessions.add(goal, sess)
+			e, err := s.sessions.add(req.Program, req.Tenant, req.Goal, sess)
 			if err != nil {
 				sess.Close()
 				s.account(sess, false)
@@ -392,7 +409,7 @@ func (s *Server) settle(sess *engine.Session, goal string, ok, keep bool) (wire.
 		// Budget or request deadline ran out mid-search: park the
 		// session; the client resumes with next or gives up with
 		// cancel. This is the backpressure path.
-		e, err := s.sessions.add(goal, sess)
+		e, err := s.sessions.add(req.Program, req.Tenant, req.Goal, sess)
 		if err != nil {
 			sess.Close()
 			s.account(sess, true)
@@ -445,13 +462,18 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runNext(ctx context.Context, req wire.NextRequest) (wire.Reply, int) {
 	e, ok := s.sessions.get(req.Session)
 	if !ok {
+		if r, known := s.sessions.reasonFor(req.Session); known {
+			return reasonReply(r, req.Session)
+		}
 		return errorReply(fmt.Errorf("unknown session %q", req.Session)), http.StatusNotFound
 	}
 	e.ops.Lock()
 	defer e.ops.Unlock()
 	if e.done {
-		// Lost the race with cancel, eviction or drain.
-		return errorReply(fmt.Errorf("session %q closed", req.Session)), http.StatusNotFound
+		// Lost the race with cancel, eviction, suspend or drain; the
+		// reason tells the client whether its own action closed the
+		// session (409) or the server took it away (410).
+		return doneReply(e, req.Session)
 	}
 	e.touch()
 	if req.Budget > 0 {
@@ -475,7 +497,7 @@ func (s *Server) runNext(ctx context.Context, req wire.NextRequest) (wire.Reply,
 	}
 	// Terminal: exhausted or faulted — unpark and release the machine.
 	e.done = true
-	s.sessions.remove(e.id)
+	s.sessions.retire(e)
 	if err := e.sess.Err(); err != nil {
 		e.sess.Close()
 		s.account(e.sess, true)
@@ -491,6 +513,33 @@ func (s *Server) runNext(ctx context.Context, req wire.NextRequest) (wire.Reply,
 	return rep, http.StatusOK
 }
 
+// doneReply maps a closed entry's reason onto the typed HTTP reply
+// for a request that lost the close race. Callers hold e.ops.
+func doneReply(e *entry, id string) (wire.Reply, int) {
+	return reasonReply(e.reason, id)
+}
+
+// reasonReply renders the typed reply for a session that left the
+// table: 409 for the client's own cancel, 410 when the server took it
+// away (evicted, drained, or parked to disk — the latter with the
+// resume handle).
+func reasonReply(reason doneReason, id string) (wire.Reply, int) {
+	switch reason {
+	case reasonCancelled:
+		return errorReply(fmt.Errorf("session %q cancelled", id)), http.StatusConflict
+	case reasonEvicted:
+		return errorReply(fmt.Errorf("session %q evicted after idle timeout", id)), http.StatusGone
+	case reasonDrained:
+		return errorReply(fmt.Errorf("session %q completed by shutdown drain", id)), http.StatusGone
+	case reasonParked:
+		rep := errorReply(fmt.Errorf("session %q suspended to disk; resume with its handle", id))
+		rep.Handle = id
+		return rep, http.StatusGone
+	default:
+		return errorReply(fmt.Errorf("session %q closed", id)), http.StatusNotFound
+	}
+}
+
 // handleCancel discards a parked session.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	var req wire.CancelRequest
@@ -500,6 +549,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	e, ok := s.sessions.get(req.Session)
 	if !ok {
+		if r, known := s.sessions.reasonFor(req.Session); known {
+			rep, code := reasonReply(r, req.Session)
+			writeJSON(w, code, rep)
+			return
+		}
 		writeJSON(w, http.StatusNotFound,
 			errorReply(fmt.Errorf("unknown session %q", req.Session)))
 		return
@@ -508,10 +562,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	already := e.done
 	if !e.done {
 		e.done = true
+		e.reason = reasonCancelled
 		e.sess.Close()
 	}
 	e.ops.Unlock()
-	s.sessions.remove(e.id)
+	s.sessions.retire(e)
 	if !already {
 		s.account(e.sess, false)
 	}
@@ -531,6 +586,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Created: s.sessions.created,
 		Evicted: s.sessions.evicted,
 		Drained: s.sessions.drained,
+		Parked:  s.sessions.parked,
 	}
 	s.sessions.mu.Unlock()
 	s.totMu.Lock()

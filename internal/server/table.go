@@ -27,16 +27,34 @@ var errTableClosed = errors.New("server: draining, not accepting new sessions")
 // errTableFull rejects parking attempts beyond the configured cap.
 var errTableFull = errors.New("server: session table full")
 
+// Why a session left the table. A handler that loses the race against
+// the janitor, a cancel, a drain or a suspend finds done set and maps
+// the reason onto a typed HTTP status, so the client can tell "you
+// cancelled this" (409, don't retry) from "the server took it away"
+// (410, re-issue the query or resume the parked handle).
+type doneReason int
+
+const (
+	reasonNone      doneReason = iota
+	reasonCancelled            // client cancel
+	reasonEvicted              // idle janitor
+	reasonDrained              // shutdown drain ran it to completion
+	reasonParked               // serialized to the state directory
+)
+
 // entry is one parked session. ops serializes the session (Next,
 // Close) across request handlers, the janitor and the drain; done
 // marks the session closed so a lock loser does not touch a released
-// machine.
+// machine, and reason (guarded by ops) says why.
 type entry struct {
 	id       string
+	program  string
+	tenant   string
 	goal     string
 	ops      sync.Mutex
 	sess     *engine.Session
 	done     bool
+	reason   doneReason
 	lastUsed atomic.Int64 // unix nanos of the last request touch
 }
 
@@ -48,25 +66,36 @@ func (e *entry) touch() { e.lastUsed.Store(time.Now().UnixNano()) }
 type table struct {
 	mu      sync.Mutex
 	entries map[string]*entry
-	closed  bool
-	max     int
+	// tombs remembers why recently-retired sessions left the table,
+	// so a request racing (or trailing) an evict, cancel, drain or
+	// suspend gets the typed 409/410 answer instead of a bare 404.
+	tombs  map[string]doneReason
+	closed bool
+	max    int
 
 	created uint64
 	evicted uint64
 	drained uint64
+	parked  uint64
 }
 
 func newTable(max int) *table {
-	return &table{entries: make(map[string]*entry), max: max}
+	return &table{
+		entries: make(map[string]*entry),
+		tombs:   make(map[string]doneReason),
+		max:     max,
+	}
 }
 
-// add parks a session and returns its new entry.
-func (t *table) add(goal string, sess *engine.Session) (*entry, error) {
+// add parks a session and returns its new entry. program and tenant
+// identify the code environment so the session can be serialized to
+// disk and rebuilt by a later daemon process.
+func (t *table) add(program, tenant, goal string, sess *engine.Session) (*entry, error) {
 	id, err := newSessionID()
 	if err != nil {
 		return nil, err
 	}
-	e := &entry{id: id, goal: goal, sess: sess}
+	e := &entry{id: id, program: program, tenant: tenant, goal: goal, sess: sess}
 	e.touch()
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -81,20 +110,47 @@ func (t *table) add(goal string, sess *engine.Session) (*entry, error) {
 	return e, nil
 }
 
-// get looks an entry up without locking it; the caller takes e.ops
-// and must re-check e.done afterwards.
+// get looks an entry up and timestamps it in the same critical
+// section (touch-then-evict atomicity: a request that found the entry
+// has already refreshed it before the janitor's cutoff re-check under
+// e.ops can run, so an actively-used session is never evicted between
+// lookup and lock). The caller takes e.ops and must re-check e.done —
+// a strictly concurrent evict or cancel may still win the lock, and
+// e.reason then says which, for the typed 409/410 reply.
 func (t *table) get(id string) (*entry, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e, ok := t.entries[id]
+	if ok {
+		e.touch()
+	}
 	return e, ok
 }
 
-// remove drops the id from the map (the caller closes the session).
-func (t *table) remove(id string) {
+// retire drops the entry from the map (the caller has closed or
+// suspended the session and set e.reason under e.ops), leaving a
+// typed tombstone when there is a reason worth reporting. Tombstones
+// are capped; a full set is dropped wholesale — after 4096 retires a
+// stale client degrades from a typed 409/410 to a plain 404, which is
+// still correct, just less helpful.
+func (t *table) retire(e *entry) {
 	t.mu.Lock()
-	delete(t.entries, id)
+	delete(t.entries, e.id)
+	if e.reason != reasonNone {
+		if len(t.tombs) >= 4096 {
+			clear(t.tombs)
+		}
+		t.tombs[e.id] = e.reason
+	}
 	t.mu.Unlock()
+}
+
+// reasonFor reports why a session id no longer resolves, if known.
+func (t *table) reasonFor(id string) (doneReason, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.tombs[id]
+	return r, ok
 }
 
 // active is the number of parked sessions.
@@ -130,8 +186,9 @@ func (t *table) evictIdle(maxIdle time.Duration) []*entry {
 		e.ops.Lock()
 		if !e.done && e.lastUsed.Load() <= cutoff {
 			e.done = true
+			e.reason = reasonEvicted
 			e.sess.Close()
-			t.remove(e.id)
+			t.retire(e)
 			closed = append(closed, e)
 		}
 		e.ops.Unlock()
@@ -169,9 +226,10 @@ func (t *table) drainAll(ctx context.Context) []*entry {
 			finished = false
 		}
 		e.done = true
+		e.reason = reasonDrained
 		e.sess.Close()
 		e.ops.Unlock()
-		t.remove(e.id)
+		t.retire(e)
 		closed = append(closed, e)
 		if finished {
 			t.mu.Lock()

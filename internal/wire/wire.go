@@ -10,6 +10,8 @@
 //	POST /v1/query    QueryRequest   -> Reply (or an NDJSON stream)
 //	POST /v1/next     NextRequest    -> Reply
 //	POST /v1/cancel   CancelRequest  -> Reply
+//	POST /v1/suspend  SuspendRequest -> Reply (status "parked" + handle)
+//	POST /v1/resume   ResumeRequest  -> Reply (status "suspended" + session)
 //	POST /v1/assert   AssertRequest  -> Reply
 //	POST /v1/retract  RetractRequest -> Reply
 //	GET  /v1/stats                   -> StatsReply
@@ -26,6 +28,15 @@
 // "stream" set, the response is chunked application/x-ndjson: one
 // Reply line per solution, then a terminal line whose Status is
 // "done" (with the final counters) or "error".
+//
+// Suspend serializes a parked session's full machine state to the
+// daemon's state directory and returns a durable handle (status
+// "parked"); resume rebuilds it — in the same daemon or a restarted
+// one — as a fresh parked session driven with next/cancel as usual.
+// When the daemon has a state directory, a SIGTERM drain parks every
+// live session the same way instead of running it to completion, each
+// under its session id as the handle, so clients resume exactly where
+// they left off after the restart.
 package wire
 
 // Status values carried by Reply.Status.
@@ -35,6 +46,7 @@ const (
 	StatusSuspended = "suspended" // step budget or request deadline hit; resume with next
 	StatusDone      = "done"      // terminal stream summary line
 	StatusCancelled = "cancelled" // session closed by cancel
+	StatusParked    = "parked"    // session serialized to disk; Handle resumes it
 	StatusError     = "error"     // Error holds the message
 )
 
@@ -80,6 +92,27 @@ type CancelRequest struct {
 	Session string `json:"session"`
 }
 
+// SuspendRequest serializes a parked session — machine state, solution
+// count, step budget — into the daemon's state directory. The session
+// leaves the table (its machine returns to the pool) and the reply's
+// Handle names the on-disk snapshot for a later resume, possibly by a
+// different daemon process serving the same programs.
+type SuspendRequest struct {
+	Session string `json:"session"`
+}
+
+// ResumeRequest rebuilds a suspended session from its handle. The
+// enumeration continues exactly where it was parked: same remaining
+// solutions, same simulated counters. Resuming a tenant session
+// requires the tenant database to be at the version the snapshot was
+// taken from; any mutation since fails the resume.
+type ResumeRequest struct {
+	Handle string `json:"handle"`
+	// Budget optionally replaces the parked per-slice budget.
+	Budget    uint64 `json:"budget,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
 // AssertRequest adds a clause to a tenant's dynamic database. The
 // clause must belong to a predicate the program declares dynamic (or
 // one unknown to the program, declared on first assert); asserting
@@ -123,6 +156,9 @@ type Reply struct {
 	// Session identifies a parked enumeration (present when the
 	// server kept the query alive for next/cancel).
 	Session string `json:"session,omitempty"`
+	// Handle names an on-disk session snapshot (status "parked");
+	// pass it to resume, in this daemon or its successor.
+	Handle string `json:"handle,omitempty"`
 	// Bindings maps query variable names to rendered terms.
 	Bindings map[string]string `json:"bindings,omitempty"`
 	// Solutions counts solutions delivered so far (stream summary and
@@ -150,6 +186,7 @@ type SessionStats struct {
 	Created uint64 `json:"created"`
 	Evicted uint64 `json:"evicted"` // idle sessions reaped by the janitor
 	Drained uint64 `json:"drained"` // suspended sessions completed at shutdown
+	Parked  uint64 `json:"parked"`  // sessions serialized to the state directory
 }
 
 // Totals aggregates the simulated work the daemon has served.

@@ -33,6 +33,13 @@ echo '== dyndb fuzz smoke (assert/retract vs model, malformed-clause rejection)'
 go test -count=1 -run '^$' -fuzz 'FuzzAssertRetract' -fuzztime 5s ./internal/dyndb/
 go test -count=1 -run '^$' -fuzz 'FuzzMalformedClause' -fuzztime 5s ./internal/dyndb/
 
+echo '== snapshot round-trip gate (suspend/resume byte-identity, in-process and across restart)'
+go test -count=1 -run 'TestSuspendResumeByteIdentical|TestWarmStampParity' ./internal/engine/
+go test -count=1 -run 'TestSuspendResumeAcrossRestart|TestDrainParksSessionsToDisk' ./internal/server/
+
+echo '== snapshot blob fuzz smoke (mutated blobs must fail typed, never panic, never corrupt)'
+go test -count=1 -run '^$' -fuzz 'FuzzRestoreBlob' -fuzztime 5s ./internal/machine/
+
 echo '== cycle-count pin (kcmbench counters must not drift)'
 go test -run 'TestCyclePin' ./internal/bench/
 
@@ -81,7 +88,7 @@ if ! diff -u "$tabfuse" "$tabnofuse"; then
     exit 1
 fi
 
-echo '== kcmd smoke (ephemeral port: query + stream + cancel + tenant assert/query/retract, clean drain)'
+echo '== kcmd smoke (ephemeral port: query + stream + cancel + tenant + suspend/resume across restart, clean drain)'
 go run ./cmd/kcmd -smoke
 
 echo '== kcmvet (strict: analyzer warnings are errors)'
